@@ -1,0 +1,124 @@
+"""Ablation A2: Definition 2a vs 2b — how much the enhanced unsafe rule
+saves before phase 2 even runs.
+
+The paper motivates Definition 2b by noting it includes fewer nonfaulty
+nodes in faulty blocks than Definition 2a (Section 3).  This ablation
+quantifies that across fault densities: imprisoned nonfaulty nodes,
+block counts and the post-phase-2 disabled counts under both rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table, sweep
+from repro.core import SafetyDefinition, label_mesh
+from repro.faults import clustered, uniform_random
+from repro.mesh import Mesh2D
+
+MESH = Mesh2D(64, 64)
+F_VALUES = (16, 32, 64, 128)
+TRIALS = 8
+
+
+def _metrics(f, rng):
+    faults = uniform_random(MESH.shape, f, rng)
+    out = {}
+    for d in SafetyDefinition:
+        r = label_mesh(MESH, faults, d)
+        tag = d.value
+        out[f"unsafe_nonfaulty_{tag}"] = r.num_unsafe_nonfaulty
+        out[f"blocks_{tag}"] = len(r.blocks)
+        out[f"disabled_nonfaulty_{tag}"] = sum(
+            reg.num_nonfaulty for reg in r.regions
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def points():
+    return sweep(F_VALUES, _metrics, trials=TRIALS, seed=42)
+
+
+def test_definition_ablation_table(points, emit):
+    rows = []
+    for p in points:
+        m = p.metrics
+        rows.append(
+            [
+                p.value,
+                m["unsafe_nonfaulty_2a"].mean,
+                m["unsafe_nonfaulty_2b"].mean,
+                m["blocks_2a"].mean,
+                m["blocks_2b"].mean,
+                m["disabled_nonfaulty_2a"].mean,
+                m["disabled_nonfaulty_2b"].mean,
+            ]
+        )
+    emit(
+        "ablation_definitions",
+        format_table(
+            [
+                "f",
+                "imprisoned(2a)",
+                "imprisoned(2b)",
+                "blocks(2a)",
+                "blocks(2b)",
+                "disabled(2a)",
+                "disabled(2b)",
+            ],
+            rows,
+            title="Definition 2a vs 2b on a 64x64 mesh (uniform faults)",
+        ),
+    )
+    for p in points:
+        m = p.metrics
+        # 2b never imprisons more than 2a ...
+        assert m["unsafe_nonfaulty_2b"].mean <= m["unsafe_nonfaulty_2a"].mean
+        # ... and never produces fewer (coarser) blocks.
+        assert m["blocks_2b"].mean >= m["blocks_2a"].mean
+        # Phase 2 makes the final disabled sets nearly identical: both
+        # shrink to minimal polygons around the same faults.
+        assert (
+            m["disabled_nonfaulty_2b"].mean
+            <= m["disabled_nonfaulty_2a"].mean + 1e-9
+        )
+
+
+def test_clustered_faults_magnify_the_gap(emit):
+    # Clustered failures build big blocks, where the 2a/2b difference
+    # and the phase-2 rescue are both much larger.
+    rng = np.random.default_rng(11)
+    rows = []
+    gaps = []
+    for trial in range(6):
+        faults = clustered(MESH.shape, 80, rng, clusters=2, spread=2.0)
+        ra = label_mesh(MESH, faults, SafetyDefinition.DEF_2A)
+        rb = label_mesh(MESH, faults, SafetyDefinition.DEF_2B)
+        rows.append(
+            [
+                trial,
+                ra.num_unsafe_nonfaulty,
+                rb.num_unsafe_nonfaulty,
+                ra.num_activated,
+                rb.num_activated,
+            ]
+        )
+        gaps.append(ra.num_unsafe_nonfaulty - rb.num_unsafe_nonfaulty)
+    emit(
+        "ablation_definitions_clustered",
+        format_table(
+            ["trial", "imprisoned(2a)", "imprisoned(2b)", "freed(2a)", "freed(2b)"],
+            rows,
+            title="Clustered faults (80 faults, 2 clusters) on a 64x64 mesh",
+        ),
+    )
+    assert all(g >= 0 for g in gaps)
+    assert any(g > 0 for g in gaps)
+
+
+def test_definition_kernel_benchmark(benchmark):
+    rng = np.random.default_rng(5)
+    faults = clustered(MESH.shape, 80, rng, clusters=2, spread=2.0)
+    benchmark(lambda: label_mesh(MESH, faults, SafetyDefinition.DEF_2A))

@@ -1,0 +1,95 @@
+"""Density study: block growth, imprisonment and fragmentation.
+
+Quantifies the paper's Section-5 remark that "a random distribution
+tends to generate a set of small faulty blocks" — and maps where that
+stops being true.  As density rises, blocks merge (the largest block
+grows superlinearly), the fraction of healthy nodes imprisoned climbs,
+and eventually the enabled subgraph fragments; the freed fraction shows
+how far phase 2 counteracts each stage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import density_study, format_table
+from repro.mesh import Mesh2D
+
+DENSITIES = (0.0, 0.005, 0.01, 0.02, 0.05, 0.10, 0.15)
+MESH = Mesh2D(64, 64)
+TRIALS = 8
+
+
+@pytest.fixture(scope="module")
+def points():
+    return density_study(MESH, DENSITIES, trials=TRIALS, seed=2024)
+
+
+def test_density_table(points, emit):
+    rows = [
+        [
+            p.density,
+            p.f,
+            p.largest_block.mean,
+            100 * p.imprisoned_fraction.mean,
+            100 * p.freed_fraction.mean,
+            p.enabled_components.mean,
+            100 * p.largest_enabled_fraction.mean,
+        ]
+        for p in points
+    ]
+    emit(
+        "density_study",
+        format_table(
+            [
+                "density",
+                "f",
+                "largest blk",
+                "imprisoned %",
+                "freed %",
+                "#enab comps",
+                "giant comp %",
+            ],
+            rows,
+            title=f"Fault-density study on a {MESH.width}x{MESH.height} mesh "
+            f"({TRIALS} trials)",
+        ),
+    )
+
+
+def test_small_blocks_in_paper_regime(points):
+    # The paper's f <= 100 on 100x100 is density <= 1%: blocks stay tiny.
+    paper_like = [p for p in points if 0 < p.density <= 0.01]
+    for p in paper_like:
+        assert p.largest_block.mean <= 10
+
+
+def test_largest_block_grows_superlinearly(points):
+    # Between 1% and 10% density the largest block should grow by far
+    # more than the 10x fault increase.
+    one = next(p for p in points if p.density == 0.01)
+    ten = next(p for p in points if p.density == 0.10)
+    assert ten.largest_block.mean > 10 * one.largest_block.mean
+
+
+def test_phase2_frees_almost_everything_below_percolation(points):
+    # Below the ~10% percolation transition phase 2 frees > 90% of the
+    # imprisoned nodes; past it the mesh fuses into one giant block and
+    # the freed fraction collapses — the measured boundary of the
+    # paper's "random faults make small blocks" regime.
+    for p in points:
+        if 0 < p.density <= 0.05:
+            assert p.freed_fraction.mean > 0.9
+    assert points[-1].freed_fraction.mean < 0.5
+
+
+def test_giant_component_survives_moderate_density(points):
+    moderate = [p for p in points if p.density <= 0.05]
+    for p in moderate:
+        assert p.largest_enabled_fraction.mean > 0.95
+
+
+def test_density_kernel_benchmark(benchmark):
+    benchmark(
+        lambda: density_study(Mesh2D(32, 32), densities=[0.05], trials=2, seed=1)
+    )

@@ -1,0 +1,85 @@
+"""Figure 5 (c)/(d): percentage of enabled nodes among unsafe-but-
+nonfaulty nodes, per reducible faulty block.
+
+Paper setup: same sweep as panels (a)/(b); for each faulty block that
+can be reduced to orthogonal convex polygons (i.e. holds at least one
+nonfaulty node), the percentage of its unsafe-but-nonfaulty nodes that
+phase 2 enables, averaged over blocks and trials.  Panel (c) is
+reproduced with Definition 2a, panel (d) with Definition 2b.
+
+Expected shape (paper Section 5): the percentage "stays very high,
+especially when the number of faults is relatively low" — random sparse
+faults make small blocks whose nonfaulty nodes are easy to activate —
+and drifts down slowly as f grows.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import run_fig5
+from repro.core import SafetyDefinition, label_mesh
+from repro.faults import uniform_random
+from repro.mesh import Mesh2D
+
+TRIALS = 20
+F_VALUES = tuple(range(0, 101, 10))
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return {
+        d: run_fig5(d, f_values=F_VALUES, trials=TRIALS, seed=19951106)
+        for d in SafetyDefinition
+    }
+
+
+@pytest.mark.parametrize(
+    "panel,definition",
+    [("c", SafetyDefinition.DEF_2A), ("d", SafetyDefinition.DEF_2B)],
+)
+def test_fig5_ratio_panel(curves, emit, panel, definition):
+    curve = curves[definition]
+    emit(f"fig5_{panel}_ratio_def{definition.value}", curve.as_table())
+
+    with_blocks = [p for p in curve.points if not math.isnan(p.enabled_ratio.mean)]
+    assert with_blocks, "sweep produced no reducible blocks at all"
+    # "Stays very high": every point averages above 80%, and the sparse
+    # end of the sweep above 95%.
+    for p in with_blocks:
+        assert p.enabled_ratio.mean > 0.80, (p.f, p.enabled_ratio)
+    sparse = [p for p in with_blocks if p.f <= 30]
+    for p in sparse:
+        assert p.enabled_ratio.mean > 0.95, (p.f, p.enabled_ratio)
+
+
+def test_ratio_trend_not_increasing(curves):
+    # The ratio drifts downward (more faults -> larger, harder blocks).
+    # Random sweeps wobble, so compare the sparse half against the dense
+    # half rather than demanding pointwise monotonicity.
+    for curve in curves.values():
+        vals = [
+            p.enabled_ratio.mean
+            for p in curve.points
+            if not math.isnan(p.enabled_ratio.mean)
+        ]
+        if len(vals) >= 4:
+            head = sum(vals[: len(vals) // 2]) / (len(vals) // 2)
+            tail = sum(vals[len(vals) // 2 :]) / (len(vals) - len(vals) // 2)
+            assert tail <= head + 0.02
+
+
+def test_ratio_kernel_benchmark(benchmark):
+    """Time one full trial at the densest sweep point (f = 100)."""
+    mesh = Mesh2D(100, 100)
+    rng = np.random.default_rng(1)
+    faults = uniform_random(mesh.shape, 100, rng)
+
+    def trial():
+        result = label_mesh(mesh, faults)
+        return result.per_block_enabled_ratios()
+
+    benchmark(trial)

@@ -1,0 +1,112 @@
+"""Ablation A4: the open problem — partitioning covers further.
+
+Section 4 closes with an open problem (conjectured NP-complete): cover a
+block's faults with a *set* of orthogonal convex polygons holding the
+minimum number of nonfaulty nodes.  This benchmark scores the library's
+two polynomial heuristics against the single-polygon disabled-region
+baseline, and against exhaustive search where the instance is small
+enough to certify the optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import label_mesh
+from repro.faults import FaultSet, uniform_random
+from repro.geometry import connect_orthoconvex
+from repro.mesh import Mesh2D
+from repro.partition import cluster_cover, exact_cover, guillotine_cover
+
+MESH = Mesh2D(24, 24)
+TRIALS = 10
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    rng = np.random.default_rng(21)
+    rows = []
+    for trial in range(TRIALS):
+        faults = uniform_random(MESH.shape, 10, rng)
+        if not faults:
+            continue
+        baseline_poly = connect_orthoconvex(faults.cells)
+        baseline = len(baseline_poly) - len(faults)
+        cluster = cluster_cover(faults.cells)
+        guillotine = guillotine_cover(faults.cells)
+        try:
+            exact = exact_cover(faults.cells)
+            exact_cost = exact.num_nonfaulty
+        except Exception:
+            exact_cost = float("nan")
+        rows.append(
+            [
+                trial,
+                len(faults),
+                baseline,
+                cluster.num_nonfaulty,
+                guillotine.num_nonfaulty,
+                exact_cost,
+                cluster.num_polygons,
+                guillotine.num_polygons,
+            ]
+        )
+    return rows
+
+
+def test_partition_table(measurements, emit):
+    emit(
+        "partition_open_problem",
+        format_table(
+            [
+                "trial",
+                "faults",
+                "single-OCP",
+                "cluster",
+                "guillotine",
+                "exact",
+                "#poly(cl)",
+                "#poly(gu)",
+            ],
+            rows=measurements,
+            title="Nonfaulty nodes imprisoned per cover strategy (24x24, 10 faults)",
+        ),
+    )
+
+
+def test_heuristics_never_worse_than_baseline(measurements):
+    for row in measurements:
+        baseline, cluster, guillotine = row[2], row[3], row[4]
+        assert cluster <= baseline
+        assert guillotine <= baseline
+
+
+def test_exact_lower_bounds_heuristics(measurements):
+    import math
+
+    for row in measurements:
+        exact = row[5]
+        if not math.isnan(exact):
+            assert exact <= row[3] and exact <= row[4]
+
+
+def test_structured_instance_with_known_optimum(emit):
+    # Two 2x2 fault squares far apart inside what phase 1 would merge
+    # into one region if they were close: the optimal cover is the two
+    # squares themselves (0 nonfaulty nodes).
+    faults = FaultSet.from_coords(
+        (24, 24),
+        [(2, 2), (3, 2), (2, 3), (3, 3), (12, 12), (13, 12), (12, 13), (13, 13)],
+    )
+    exact = exact_cover(faults.cells)
+    assert exact.num_nonfaulty == 0 and exact.num_polygons == 2
+    for heuristic in (cluster_cover, guillotine_cover):
+        assert heuristic(faults.cells).num_nonfaulty == 0
+
+
+def test_partition_kernel_benchmark(benchmark):
+    rng = np.random.default_rng(4)
+    faults = uniform_random(MESH.shape, 10, rng)
+    benchmark(lambda: cluster_cover(faults.cells))

@@ -1,0 +1,75 @@
+"""Protocol communication cost: literal vs change-driven broadcasting.
+
+The paper's pseudo-code has every node exchange its status with its
+neighbours *every round*; an obvious engineering refinement is to
+re-broadcast only on change (the labels and round counts are provably
+identical — property-tested in the suite).  This benchmark reports the
+message-count gap, a quantity papers in this literature routinely cite
+as the cost of block construction and maintenance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import label_mesh
+from repro.faults import clustered, uniform_random
+from repro.mesh import Mesh2D
+
+MESH = Mesh2D(40, 40)
+TRIALS = 5
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    rng = np.random.default_rng(17)
+    rows = []
+    for trial in range(TRIALS):
+        faults = clustered(MESH.shape, 40, rng, clusters=2, spread=2.0)
+        quiet = label_mesh(MESH, faults, backend="distributed", chatty=False)
+        loud = label_mesh(MESH, faults, backend="distributed", chatty=True)
+        assert np.array_equal(quiet.labels.enabled, loud.labels.enabled)
+        q = quiet.stats_phase1.total_messages + quiet.stats_phase2.total_messages
+        l = loud.stats_phase1.total_messages + loud.stats_phase2.total_messages
+        rows.append(
+            [
+                trial,
+                quiet.rounds_phase1 + quiet.rounds_phase2,
+                q,
+                l,
+                l / q if q else float("nan"),
+            ]
+        )
+    return rows
+
+
+def test_protocol_cost_table(measurements, emit):
+    emit(
+        "protocol_cost",
+        format_table(
+            ["trial", "rounds", "msgs(on-change)", "msgs(every-round)", "ratio"],
+            measurements,
+            title="Message cost: change-driven vs literal every-round exchange (40x40)",
+        ),
+    )
+
+
+def test_every_round_costs_more(measurements):
+    for row in measurements:
+        assert row[3] >= row[2]
+
+
+def test_chatty_cost_grows_with_rounds(measurements):
+    # Every-round traffic is proportional to executed rounds; the ratio
+    # must exceed 1 whenever any labeling round was needed.
+    for row in measurements:
+        if row[1] > 0:
+            assert row[4] > 1.0
+
+
+def test_protocol_kernel_benchmark(benchmark):
+    rng = np.random.default_rng(6)
+    faults = uniform_random(MESH.shape, 20, rng)
+    benchmark(lambda: label_mesh(MESH, faults, backend="distributed"))

@@ -1,0 +1,146 @@
+"""Ablation A3: the routing payoff of the refined fault model.
+
+The paper's motivation (Sections 1 and 6): shrinking rectangular faulty
+blocks to orthogonal convex polygons activates nonfaulty nodes, which
+"facilitates efficient fault-tolerant and deadlock-free routing".  This
+benchmark makes that concrete: for identical fault patterns and
+identical traffic, it routes under
+
+* the **faulty-block view** (all unsafe nodes disabled), and
+* the **disabled-region view** (phase-2 enabled nodes participate),
+
+and reports enabled-node counts, reachability, delivery, detours and
+minimal-path availability for the XY baseline, the wall-following
+boundary router, the minimal-adaptive router and the BFS oracle.
+
+Expected shape: the region view enables strictly more nodes, so every
+oracle metric improves or ties; local routers inherit most of the gain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import label_mesh
+from repro.faults import clustered
+from repro.mesh import Mesh2D
+from repro.routing import (
+    BFSRouter,
+    FaultModelView,
+    MinimalRouter,
+    SafetyLevelRouter,
+    WallRouter,
+    XYRouter,
+    evaluate_router,
+    sample_pairs,
+)
+
+MESH = Mesh2D(48, 48)
+FAULTS = 60
+PAIRS = 150
+TRIALS = 5
+
+ROUTERS = (XYRouter, SafetyLevelRouter, WallRouter, MinimalRouter, BFSRouter)
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    rows = []
+    per_view_delivery = {"blocks": [], "regions": []}
+    rng = np.random.default_rng(13)
+    for trial in range(TRIALS):
+        faults = clustered(MESH.shape, FAULTS, rng, clusters=3, spread=2.0)
+        result = label_mesh(MESH, faults)
+        views = {
+            "blocks": FaultModelView.from_blocks(result),
+            "regions": FaultModelView.from_regions(result),
+        }
+        # Traffic endpoints valid under both views, for a fair per-pair
+        # comparison (the block view's enabled set is the intersection).
+        pairs = sample_pairs(views["blocks"], PAIRS, rng)
+        for view_name, view in views.items():
+            for router_cls in ROUTERS:
+                router = router_cls(view)
+                m = evaluate_router(router, pairs)
+                rows.append(
+                    [
+                        trial,
+                        view_name,
+                        m.router,
+                        view.num_enabled,
+                        m.delivery_rate,
+                        m.reachability,
+                        m.mean_detour,
+                        m.minimal_fraction,
+                    ]
+                )
+                if router_cls is BFSRouter:
+                    per_view_delivery[view_name].append(m.delivery_rate)
+    return rows, per_view_delivery
+
+
+def test_routing_payoff_table(measurements, emit):
+    rows, _ = measurements
+    emit(
+        "routing_payoff",
+        format_table(
+            [
+                "trial",
+                "view",
+                "router",
+                "enabled",
+                "delivery",
+                "reach",
+                "detour",
+                "minimal",
+            ],
+            rows,
+            title=(
+                f"Routing under block vs region views "
+                f"({MESH.width}x{MESH.height}, {FAULTS} clustered faults, "
+                f"{PAIRS} pairs x {TRIALS} trials)"
+            ),
+        ),
+    )
+
+
+def test_region_view_never_loses(measurements):
+    _, per_view = measurements
+    for b, r in zip(per_view["blocks"], per_view["regions"]):
+        assert r >= b - 1e-12
+
+
+def test_enabled_node_gain(measurements):
+    rows, _ = measurements
+    by_view = {"blocks": set(), "regions": set()}
+    for row in rows:
+        by_view[row[1]].add((row[0], row[3]))
+    for trial in range(TRIALS):
+        nb = next(n for t, n in by_view["blocks"] if t == trial)
+        nr = next(n for t, n in by_view["regions"] if t == trial)
+        assert nr >= nb
+
+
+def test_oracle_dominates_local_routers(measurements):
+    rows, _ = measurements
+    # Group delivery rates per (trial, view).
+    from collections import defaultdict
+
+    groups = defaultdict(dict)
+    for trial, view, router, _, delivery, *_ in rows:
+        groups[(trial, view)][router] = delivery
+    for metrics in groups.values():
+        for name, rate in metrics.items():
+            assert rate <= metrics["bfs-oracle"] + 1e-12, name
+
+
+def test_routing_kernel_benchmark(benchmark):
+    rng = np.random.default_rng(3)
+    faults = clustered(MESH.shape, FAULTS, rng, clusters=3, spread=2.0)
+    result = label_mesh(MESH, faults)
+    view = FaultModelView.from_regions(result)
+    router = WallRouter(view)
+    pairs = sample_pairs(view, 50, rng)
+    benchmark(lambda: [router.route(s, d) for s, d in pairs])

@@ -1,0 +1,181 @@
+"""Wormhole-level experiments: deadlock phenomena and the fault-model
+payoff at the flit level.
+
+Two studies on the cycle-level wormhole simulator:
+
+1. **Deadlock demonstrations** — the classical results the paper's
+   Section 1 leans on: dimension-order (XY) routing needs one virtual
+   channel and never deadlocks; cyclic routing on one VC deadlocks; a
+   dateline VC discipline repairs it with two VCs ("relatively few
+   virtual channels").
+
+2. **Latency under load** — uniform traffic swept over injection rates
+   on a faulty mesh, carried by detour routing over the rectangular
+   block model vs the refined region model.  More enabled nodes means
+   more usable endpoints and shorter detours, visible as lower mean
+   latency at equal load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import label_mesh
+from repro.faults import clustered
+from repro.mesh import Mesh2D
+from repro.network import (
+    WormholeNetwork,
+    WormPacket,
+    block_detour_hops,
+    clockwise_ring_hops,
+    dateline_vc_policy,
+    uniform_traffic,
+    xy_hops,
+)
+from repro.routing import FaultModelView
+
+MESH = Mesh2D(16, 16)
+RING = [(0, 0), (1, 0), (1, 1), (0, 1)]
+RATES = (0.05, 0.1, 0.2, 0.4)
+PACKETS = 150
+
+
+@pytest.fixture(scope="module")
+def deadlock_rows():
+    rows = []
+    # XY under heavy uniform load.
+    view = FaultModelView(MESH, np.ones(MESH.shape, dtype=bool))
+    rng = np.random.default_rng(3)
+    traffic = uniform_traffic(view, 200, rng, packet_length=4, injection_rate=1.0)
+    res = WormholeNetwork(MESH, xy_hops(), num_vcs=1, buffer_depth=2).run(traffic)
+    rows.append(["xy / 1 VC", "uniform load", res.deadlocked, res.delivery_rate])
+
+    def ring_packets():
+        return [
+            WormPacket(i, RING[i], RING[(i + 3) % 4], length=4, inject_cycle=0)
+            for i in range(4)
+        ]
+
+    res = WormholeNetwork(
+        Mesh2D(4, 4), clockwise_ring_hops(RING), num_vcs=1, buffer_depth=1,
+        watchdog=100,
+    ).run(ring_packets())
+    rows.append(["ring / 1 VC", "4 cyclic worms", res.deadlocked, res.delivery_rate])
+
+    res = WormholeNetwork(
+        Mesh2D(4, 4),
+        clockwise_ring_hops(RING),
+        num_vcs=2,
+        buffer_depth=1,
+        vc_policy=dateline_vc_policy(RING),
+        watchdog=300,
+    ).run(ring_packets())
+    rows.append(
+        ["ring / 2 VC dateline", "4 cyclic worms", res.deadlocked, res.delivery_rate]
+    )
+    return rows
+
+
+def test_deadlock_table(deadlock_rows, emit):
+    emit(
+        "wormhole_deadlock",
+        format_table(
+            ["configuration", "traffic", "deadlocked", "delivered"],
+            deadlock_rows,
+            title="Wormhole deadlock phenomena",
+        ),
+    )
+    xy, ring1, ring2 = deadlock_rows
+    assert xy[2] is False and xy[3] == 1.0
+    assert ring1[2] is True
+    assert ring2[2] is False and ring2[3] == 1.0
+
+
+@pytest.fixture(scope="module")
+def load_rows():
+    from repro.network import source_routed_traffic
+    from repro.routing import FRingRouter, WallRouter, sample_pairs
+
+    rng = np.random.default_rng(17)
+    faults = clustered(MESH.shape, 18, rng, clusters=2, spread=1.5)
+    labeled = label_mesh(MESH, faults)
+    vb = FaultModelView.from_blocks(labeled)
+    vr = FaultModelView.from_regions(labeled)
+    # Endpoints valid under both models, routed by each model's own
+    # detour router (paths delivered to the network as source routes).
+    pairs = sample_pairs(vb, PACKETS, rng)
+    configs = {
+        "blocks": (vb, FRingRouter(vb)),
+        "regions": (vr, WallRouter(vr)),
+    }
+    rows = []
+    for rate in RATES:
+        for name, (view, router) in configs.items():
+            traffic_rng = np.random.default_rng(int(rate * 1000))
+            traffic, unroutable = source_routed_traffic(
+                router, pairs, traffic_rng, packet_length=4, injection_rate=rate
+            )
+            net = WormholeNetwork(MESH, num_vcs=2, buffer_depth=2, watchdog=3000)
+            res = net.run(traffic, max_cycles=60_000)
+            rows.append(
+                [
+                    rate,
+                    name,
+                    view.num_enabled,
+                    unroutable,
+                    res.delivery_rate,
+                    res.mean_latency,
+                    res.throughput,
+                    len(res.stuck) + (1 if res.deadlocked else 0) > 0,
+                ]
+            )
+    return rows
+
+
+def test_load_sweep_table(load_rows, emit):
+    emit(
+        "wormhole_load",
+        format_table(
+            [
+                "rate",
+                "model",
+                "enabled",
+                "unroutable",
+                "delivered",
+                "latency",
+                "thr",
+                "congestion",
+            ],
+            load_rows,
+            title=(
+                f"Wormhole latency under load ({MESH.width}x{MESH.height}, "
+                f"18 clustered faults, {PACKETS} source-routed packets of 4 flits)"
+            ),
+        ),
+    )
+    # At the gentle end of the sweep everything must flow.
+    gentle = [r for r in load_rows if r[0] == RATES[0]]
+    for row in gentle:
+        assert row[4] > 0.95, row
+
+
+def test_region_model_offers_more_endpoints(load_rows):
+    by_model = {}
+    for row in load_rows:
+        by_model.setdefault(row[1], set()).add(row[2])
+    assert max(by_model["regions"]) >= max(by_model["blocks"])
+
+
+def test_latency_rises_with_load(load_rows):
+    block_lat = [r[5] for r in load_rows if r[1] == "blocks"]
+    assert block_lat[-1] >= block_lat[0] - 1.0
+
+
+def test_wormhole_kernel_benchmark(benchmark):
+    view = FaultModelView(Mesh2D(8, 8), np.ones((8, 8), dtype=bool))
+    rng = np.random.default_rng(1)
+    traffic = uniform_traffic(view, 60, rng, packet_length=4, injection_rate=0.5)
+    net = WormholeNetwork(Mesh2D(8, 8), xy_hops(), num_vcs=1, buffer_depth=2)
+    benchmark(lambda: net.run(list(traffic)))

@@ -1,0 +1,37 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one paper artefact (a Figure-5 panel, or an
+ablation listed in DESIGN.md): it prints the series as a plain-text
+table, writes the same table under ``benchmarks/results/``, asserts the
+qualitative *shape* the paper reports, and times a representative
+kernel with pytest-benchmark.
+
+Absolute values are not compared against the paper: the authors'
+simulator and RNG are unavailable, so EXPERIMENTS.md records our
+measured numbers next to the paper's qualitative claims instead.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Print a table and persist it under benchmarks/results/<name>.txt."""
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Watch the distributed protocol converge, round by round.
+
+Runs both labeling phases on the synchronous message-passing fabric
+with tracing enabled, then replays each round as an ASCII frame: first
+the *unsafe* label spreading outward from the faults (phase 1), then
+the *enabled* label eating back into the block from its rim (phase 2).
+
+Usage::
+
+    python examples/distributed_trace.py
+"""
+
+from repro import Mesh2D, SafetyDefinition
+from repro.core import distributed_enabled, distributed_unsafe
+from repro.faults import FaultSet
+from repro.geometry import CellSet
+from repro.viz import render_cells
+
+SHAPE = (10, 10)
+# A diagonal chain: the block grows to a 4x4 square over 3 rounds, then
+# phase 2 frees everything except the diagonal staircase itself.
+FAULTS = [(3, 3), (4, 4), (5, 5), (6, 6)]
+
+
+def frame_to_cells(snapshot, predicate):
+    return CellSet.from_coords(SHAPE, [c for c, v in snapshot.items() if predicate(v)])
+
+
+def main() -> None:
+    mesh = Mesh2D(*SHAPE)
+    faults = FaultSet.from_coords(SHAPE, FAULTS)
+
+    unsafe, stats1, trace1 = distributed_unsafe(
+        mesh, faults, SafetyDefinition.DEF_2B, record_trace=True
+    )
+    print(f"phase 1: {stats1.rounds} changing rounds, "
+          f"{stats1.total_messages} messages\n")
+    for round_no, snap in trace1.frames():
+        marked = frame_to_cells(snap, bool) | faults.cells
+        print(f"after round {round_no} — unsafe nodes ('@' = faulty):")
+        print(render_cells(marked, highlight=faults.cells, axes=False))
+        print()
+
+    enabled, stats2, trace2 = distributed_enabled(
+        mesh, faults, unsafe, record_trace=True
+    )
+    print(f"phase 2: {stats2.rounds} changing rounds, "
+          f"{stats2.total_messages} messages\n")
+    for round_no, snap in trace2.frames():
+        disabled = frame_to_cells(snap, lambda v: not v) | faults.cells
+        print(f"after round {round_no} — still disabled ('@' = faulty):")
+        print(render_cells(disabled, highlight=faults.cells, axes=False))
+        print()
+
+    freed = int((unsafe & enabled).sum())
+    print(f"final: {freed} nonfaulty nodes freed from the block; the disabled "
+          f"region is the diagonal staircase (the minimal orthogonal convex "
+          f"polygon covering the faults).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Figure 2: why Definition 3 is phrased the way it is.
+
+The paper rejects the "natural" recursive enable rule — *an unsafe node
+is enabled iff it has two or more enabled neighbours* — because it is
+not well-defined: some configurations admit several consistent
+assignments ("double status").  This example reproduces both Figure-2
+layouts:
+
+* (a) a block whose nonfaulty sub-block sits at the upper **right**
+  corner — the recursive rule has a unique solution (all enabled), and
+  Definition 3 finds it;
+* (b) the same sub-block at the upper **center** — the recursive rule
+  admits both all-enabled and all-disabled, and Definition 3 resolves
+  the ambiguity deterministically to disabled (the least fixpoint).
+
+Usage::
+
+    python examples/double_status.py
+"""
+
+from repro import Mesh2D, SafetyDefinition
+from repro.core import (
+    enabled_fixpoint,
+    recursive_enable_fixpoints,
+    unsafe_fixpoint,
+)
+from repro.faults import FaultSet
+from repro.viz import render_cells
+from repro.geometry import CellSet
+
+SHAPE = (7, 6)
+
+
+def block_with_gap(gap_x: int):
+    """A 4x3 faulty rectangle whose top row has a 2-wide nonfaulty gap."""
+    return [
+        (x, y)
+        for x in range(1, 5)
+        for y in range(1, 4)
+        if not (y == 3 and gap_x <= x < gap_x + 2)
+    ]
+
+
+def show(tag: str, gap_x: int) -> None:
+    mesh = Mesh2D(*SHAPE)
+    faults = FaultSet.from_coords(SHAPE, block_with_gap(gap_x))
+    unsafe, _ = unsafe_fixpoint(mesh, faults.mask, SafetyDefinition.DEF_2B)
+
+    print(f"--- Figure 2({tag}): nonfaulty gap at x={gap_x} ---")
+    print("fault pattern ('#' faulty, '@' the nonfaulty gap inside the block):")
+    gap = CellSet(unsafe & ~faults.mask)
+    print(render_cells(faults.cells, highlight=gap, axes=False))
+
+    solutions = recursive_enable_fixpoints(mesh, faults.mask, unsafe)
+    print(f"recursive rule: {len(solutions)} consistent assignment(s)")
+    for i, sol in enumerate(solutions):
+        gap_states = {c: bool(sol[c]) for c in gap}
+        print(f"  solution {i}: gap enabled = {sorted(gap_states.items())}")
+
+    enabled, rounds = enabled_fixpoint(mesh, faults.mask, unsafe)
+    verdict = "enabled" if all(enabled[c] for c in gap) else "disabled"
+    print(f"Definition 3 (well-defined, {rounds} rounds): gap is {verdict}\n")
+
+
+def main() -> None:
+    show("a", gap_x=3)  # corner gap: unique solution
+    show("b", gap_x=2)  # center gap: double status
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""The open problem: covering faults with several polygons.
+
+Section 4 ends with an open problem conjectured NP-complete: cover a
+block's faults with a set of orthogonal convex polygons holding the
+minimum number of nonfaulty nodes.  This example builds an instance
+where the single disabled-region polygon is provably suboptimal, then
+runs the library's heuristics and (since the instance is small) the
+exact search.
+
+Usage::
+
+    python examples/partition_open_problem.py
+"""
+
+from repro.analysis import format_table
+from repro.geometry import CellSet, connect_orthoconvex, shapes
+from repro.partition import cluster_cover, exact_cover, guillotine_cover
+from repro.viz import render_cells
+
+SHAPE = (18, 12)
+
+
+def main() -> None:
+    # Two fault clusters joined by a lone fault: the disabled region of
+    # this pattern is one long polygon, but covering each cluster
+    # separately frees the corridor cells between them.
+    faults = (
+        shapes.rectangle(SHAPE, (1, 1), 2, 3)
+        | shapes.rectangle(SHAPE, (12, 7), 3, 2)
+        | CellSet.from_coords(SHAPE, [(7, 4)])
+    )
+
+    print("fault pattern:")
+    print(render_cells(faults, axes=False))
+    print()
+
+    single = connect_orthoconvex(faults)
+    print("single-polygon cover (the disabled-region baseline):")
+    print(render_cells(single, highlight=faults, axes=False))
+    print(f"  cells={len(single)}  nonfaulty={len(single) - len(faults)}\n")
+
+    rows = [["single polygon", 1, len(single) - len(faults)]]
+    for name, fn in (
+        ("cluster heuristic", cluster_cover),
+        ("guillotine heuristic", guillotine_cover),
+        ("exact search", exact_cover),
+    ):
+        cover = fn(faults)
+        rows.append([name, cover.num_polygons, cover.num_nonfaulty])
+        if name == "exact search":
+            print("optimal cover:")
+            union = CellSet.empty(SHAPE)
+            for p in cover.polygons:
+                union = union | p
+            print(render_cells(union, highlight=faults, axes=False))
+            print()
+
+    print(format_table(["strategy", "#polygons", "nonfaulty kept"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Wormhole switching, virtual channels and deadlock — live.
+
+Three demonstrations on the flit-level simulator, replaying the
+classical results the paper's Section 1 builds on:
+
+1. dimension-order (XY) routing moves heavy uniform traffic on a single
+   virtual channel without ever deadlocking;
+2. cyclic routing on one virtual channel deadlocks four worms in a ring
+   (each holds one channel and waits for the next — the watchdog
+   catches the silence);
+3. the dateline discipline breaks the cycle with just two virtual
+   channels — the "relatively few virtual channels" the convex fault
+   regions are designed to preserve.
+
+Usage::
+
+    python examples/wormhole_demo.py
+"""
+
+import numpy as np
+
+from repro.mesh import Mesh2D
+from repro.network import (
+    WormholeNetwork,
+    WormPacket,
+    clockwise_ring_hops,
+    dateline_vc_policy,
+    uniform_traffic,
+    xy_hops,
+)
+from repro.routing import FaultModelView
+
+RING = [(0, 0), (1, 0), (1, 1), (0, 1)]
+
+
+def demo_xy() -> None:
+    mesh = Mesh2D(8, 8)
+    view = FaultModelView(mesh, np.ones(mesh.shape, dtype=bool))
+    traffic = uniform_traffic(
+        view, 200, np.random.default_rng(1), packet_length=4, injection_rate=1.0
+    )
+    net = WormholeNetwork(mesh, xy_hops(), num_vcs=1, buffer_depth=2)
+    res = net.run(traffic)
+    print("1) XY routing, 1 VC, 200 packets at full injection pressure:")
+    print(f"   delivered {len(res.delivered)}/200 in {res.cycles} cycles, "
+          f"mean latency {res.mean_latency:.1f}, deadlocked: {res.deadlocked}\n")
+
+
+def ring_worms():
+    return [
+        WormPacket(i, RING[i], RING[(i + 3) % 4], length=4, inject_cycle=0)
+        for i in range(4)
+    ]
+
+
+def demo_ring_deadlock() -> None:
+    net = WormholeNetwork(
+        Mesh2D(4, 4), clockwise_ring_hops(RING), num_vcs=1, buffer_depth=1,
+        watchdog=100,
+    )
+    res = net.run(ring_worms())
+    print("2) four worms chasing each other around a ring, 1 VC:")
+    print(f"   delivered {len(res.delivered)}/4, deadlocked: {res.deadlocked} "
+          f"(watchdog fired after {res.cycles} cycles)\n")
+
+
+def demo_dateline() -> None:
+    net = WormholeNetwork(
+        Mesh2D(4, 4),
+        clockwise_ring_hops(RING),
+        num_vcs=2,
+        buffer_depth=1,
+        vc_policy=dateline_vc_policy(RING),
+        watchdog=300,
+    )
+    res = net.run(ring_worms())
+    print("3) same worms, 2 VCs with a dateline discipline:")
+    print(f"   delivered {len(res.delivered)}/4 in {res.cycles} cycles, "
+          f"deadlocked: {res.deadlocked}")
+
+
+if __name__ == "__main__":
+    demo_xy()
+    demo_ring_deadlock()
+    demo_dateline()

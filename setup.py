@@ -1,0 +1,11 @@
+"""Thin setuptools shim.
+
+All metadata lives in pyproject.toml; this file only exists so that
+``pip install -e .`` works on environments whose setuptools lacks the
+PEP-660 editable-wheel path (e.g. offline boxes without the ``wheel``
+package installed).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Experiment harness: seeded trials, sweeps, statistics and tables.
+
+:mod:`repro.analysis.fig5` is the driver that regenerates the paper's
+Figure 5; the rest is the generic machinery the benchmarks share.
+"""
+
+from repro.analysis.density import DensityPoint, density_study
+from repro.analysis.experiment import run_trials, trial_rngs
+from repro.analysis.fig5 import DEFAULT_F_VALUES, Fig5Curve, Fig5Point, run_fig5
+from repro.analysis.stats import Summary, summarize
+from repro.analysis.sweep import SweepPoint, sweep
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "DEFAULT_F_VALUES",
+    "DensityPoint",
+    "density_study",
+    "Fig5Curve",
+    "Fig5Point",
+    "Summary",
+    "SweepPoint",
+    "format_table",
+    "run_fig5",
+    "run_trials",
+    "summarize",
+    "sweep",
+    "trial_rngs",
+]

@@ -1,0 +1,146 @@
+"""Reproduction driver for the paper's Figure 5.
+
+The paper's simulation study (Section 5): on a 100x100 mesh with ``f``
+faults drawn uniformly at random, ``0 <= f <= 100``,
+
+* **Figure 5 (a)/(b)** — the averages of the maximum numbers of rounds
+  needed to determine the faulty blocks, and then the disabled regions,
+  as functions of ``f``;
+* **Figure 5 (c)/(d)** — for each faulty block that can be reduced
+  (i.e. holds at least one nonfaulty node), the average percentage of
+  enabled nodes among its unsafe-but-nonfaulty nodes.
+
+The global rounds-to-quiescence of one labeling run *is* the maximum
+over its blocks of the per-block round count (blocks converge
+independently), so :attr:`~repro.core.pipeline.LabelingResult.rounds_phase1`
+/ ``rounds_phase2`` are exactly the paper's per-trial maxima.
+
+The paper shows two panels per metric without labelling the pair; both
+Definition 2a and 2b appear in its Section 3, so this driver sweeps the
+definition (and optionally the topology) and reports every combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.experiment import trial_rngs
+from repro.analysis.stats import Summary, summarize
+from repro.analysis.tables import format_table
+from repro.core.pipeline import label_mesh
+from repro.core.status import SafetyDefinition
+from repro.faults.generators import uniform_random
+from repro.mesh.topology import Mesh2D, Topology
+
+__all__ = ["Fig5Point", "Fig5Curve", "run_fig5", "DEFAULT_F_VALUES"]
+
+#: The paper sweeps 0 <= f <= 100 on a 100x100 mesh.
+DEFAULT_F_VALUES: Tuple[int, ...] = tuple(range(0, 101, 10))
+
+
+@dataclass(frozen=True)
+class Fig5Point:
+    """Aggregates of one ``f`` value across trials."""
+
+    f: int
+    rounds_fb: Summary        # Fig 5 (a)/(b), faulty-block curve
+    rounds_dr: Summary        # Fig 5 (a)/(b), disabled-region curve
+    enabled_ratio: Summary    # Fig 5 (c)/(d), per reducible block
+    num_blocks: Summary
+    num_regions: Summary
+
+
+@dataclass(frozen=True)
+class Fig5Curve:
+    """One full sweep (one panel of the figure)."""
+
+    definition: SafetyDefinition
+    topology: Topology
+    trials: int
+    seed: int
+    points: Tuple[Fig5Point, ...]
+
+    def as_table(self) -> str:
+        """The panel as a plain-text table (what the bench prints)."""
+        rows = []
+        for p in self.points:
+            rows.append(
+                [
+                    p.f,
+                    p.rounds_fb.mean,
+                    p.rounds_dr.mean,
+                    100.0 * p.enabled_ratio.mean,
+                    p.num_blocks.mean,
+                    p.num_regions.mean,
+                ]
+            )
+        title = (
+            f"Figure 5 — {type(self.topology).__name__} "
+            f"{self.topology.width}x{self.topology.height}, "
+            f"Definition {self.definition.value}, {self.trials} trials"
+        )
+        return format_table(
+            ["f", "rounds(FB)", "rounds(DR)", "enabled %", "#blocks", "#regions"],
+            rows,
+            title=title,
+        )
+
+
+def run_fig5(
+    definition: SafetyDefinition = SafetyDefinition.DEF_2B,
+    topology: Topology | None = None,
+    f_values: Sequence[int] = DEFAULT_F_VALUES,
+    trials: int = 20,
+    seed: int = 20010423,
+) -> Fig5Curve:
+    """Run the Figure-5 sweep for one definition/topology combination.
+
+    Parameters
+    ----------
+    definition:
+        Phase-1 unsafe rule for this panel.
+    topology:
+        Defaults to the paper's 100x100 mesh.
+    f_values:
+        Fault counts to sweep.
+    trials:
+        Independent fault patterns per ``f``.
+    seed:
+        Root seed; each (f, trial) pair gets its own spawned stream.
+    """
+    topo = topology if topology is not None else Mesh2D(100, 100)
+    points: List[Fig5Point] = []
+    for fi, f in enumerate(f_values):
+        rounds_fb: List[float] = []
+        rounds_dr: List[float] = []
+        ratios: List[float] = []
+        blocks: List[float] = []
+        regions: List[float] = []
+        for rng in trial_rngs(trials, seed + 7919 * fi):
+            faults = uniform_random(topo.shape, f, rng)
+            result = label_mesh(topo, faults, definition, backend="vectorized")
+            rounds_fb.append(float(result.rounds_phase1))
+            rounds_dr.append(float(result.rounds_phase2))
+            ratios.extend(result.per_block_enabled_ratios())
+            blocks.append(float(len(result.blocks)))
+            regions.append(float(len(result.regions)))
+        points.append(
+            Fig5Point(
+                f=f,
+                rounds_fb=summarize(rounds_fb),
+                rounds_dr=summarize(rounds_dr),
+                enabled_ratio=summarize(ratios),
+                num_blocks=summarize(blocks),
+                num_regions=summarize(regions),
+            )
+        )
+    return Fig5Curve(
+        definition=definition,
+        topology=topo,
+        trials=trials,
+        seed=seed,
+        points=tuple(points),
+    )

@@ -1,0 +1,49 @@
+"""Summary statistics for experiment aggregation.
+
+Deliberately tiny: the experiments report means with standard errors
+and normal-approximation confidence intervals, which is all the paper's
+averaged curves need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = ["Summary", "summarize"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean/dispersion summary of one metric across trials."""
+
+    n: int
+    mean: float
+    std: float
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean (0 for n <= 1)."""
+        return self.std / math.sqrt(self.n) if self.n > 1 else 0.0
+
+    @property
+    def ci95(self) -> Tuple[float, float]:
+        """Normal-approximation 95% confidence interval for the mean."""
+        half = 1.96 * self.stderr
+        return (self.mean - half, self.mean + half)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.stderr:.3f} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarise a sample; an empty sample yields NaNs with n=0."""
+    n = len(values)
+    if n == 0:
+        return Summary(0, float("nan"), float("nan"))
+    mean = sum(values) / n
+    if n == 1:
+        return Summary(1, mean, 0.0)
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return Summary(n, mean, math.sqrt(var))

@@ -1,0 +1,54 @@
+"""Generic parameter sweeps.
+
+A convenience wrapper used by the ablation benchmarks: evaluate a
+metric function over a grid of parameter values with per-point trial
+replication, returning rows ready for
+:func:`repro.analysis.tables.format_table`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.experiment import trial_rngs
+from repro.analysis.stats import Summary, summarize
+
+__all__ = ["SweepPoint", "sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Aggregated metrics of one parameter value."""
+
+    value: object
+    metrics: Dict[str, Summary]
+
+
+def sweep(
+    values: Sequence[object],
+    fn: Callable[[object, np.random.Generator], Dict[str, float]],
+    trials: int = 10,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Evaluate ``fn(value, rng) -> {metric: number}`` over a value grid.
+
+    Each (value, trial) combination receives an independent spawned
+    generator; metrics are summarised per value.  Metric keys may vary
+    between trials (missing keys are simply absent from that sample).
+    """
+    points: List[SweepPoint] = []
+    for vi, value in enumerate(values):
+        samples: Dict[str, List[float]] = {}
+        for rng in trial_rngs(trials, seed + 104729 * vi):
+            for key, num in fn(value, rng).items():
+                samples.setdefault(key, []).append(float(num))
+        points.append(
+            SweepPoint(
+                value=value,
+                metrics={k: summarize(v) for k, v in samples.items()},
+            )
+        )
+    return points

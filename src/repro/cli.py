@@ -1,0 +1,308 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the library's main workflows without writing any Python:
+
+* ``label``     — label a mesh with random faults, print the picture and
+  the summary, optionally verify every theorem and export SVG;
+* ``fig5``      — run the paper's Figure-5 sweep and print the table;
+* ``route``     — compare routing under the block and region models;
+* ``density``   — the fault-density / percolation study;
+* ``partition`` — run the open-problem cover heuristics on random faults.
+
+All commands accept ``--seed`` and are fully reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Distributed formation of orthogonal convex polygons in "
+            "mesh-connected multicomputers (Wu, IPPS 2001)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--size", type=int, default=32, help="mesh side length")
+        p.add_argument("--faults", type=int, default=20, help="number of faults")
+        p.add_argument("--seed", type=int, default=0, help="RNG seed")
+        p.add_argument(
+            "--definition",
+            choices=["2a", "2b"],
+            default="2b",
+            help="phase-1 unsafe rule",
+        )
+        p.add_argument(
+            "--torus", action="store_true", help="use a torus instead of a mesh"
+        )
+        p.add_argument(
+            "--clustered",
+            action="store_true",
+            help="clustered faults instead of uniform random",
+        )
+
+    p_label = sub.add_parser("label", help="run the two-phase labeling")
+    common(p_label)
+    p_label.add_argument(
+        "--backend",
+        choices=["vectorized", "distributed"],
+        default="vectorized",
+    )
+    p_label.add_argument(
+        "--verify", action="store_true", help="check every Section-4 claim"
+    )
+    p_label.add_argument("--svg", metavar="FILE", help="write an SVG picture")
+    p_label.add_argument(
+        "--no-art", action="store_true", help="skip the ASCII rendering"
+    )
+
+    p_fig5 = sub.add_parser("fig5", help="reproduce the Figure-5 sweep")
+    p_fig5.add_argument("--size", type=int, default=100)
+    p_fig5.add_argument("--trials", type=int, default=20)
+    p_fig5.add_argument("--seed", type=int, default=20010423)
+    p_fig5.add_argument("--definition", choices=["2a", "2b"], default="2b")
+    p_fig5.add_argument("--torus", action="store_true")
+    p_fig5.add_argument(
+        "--f-max", type=int, default=100, help="largest fault count in the sweep"
+    )
+    p_fig5.add_argument("--f-step", type=int, default=10)
+
+    p_route = sub.add_parser("route", help="compare routing under both models")
+    common(p_route)
+    p_route.add_argument("--pairs", type=int, default=200)
+
+    p_density = sub.add_parser("density", help="fault-density study")
+    p_density.add_argument("--size", type=int, default=48)
+    p_density.add_argument("--trials", type=int, default=6)
+    p_density.add_argument("--seed", type=int, default=0)
+    p_density.add_argument(
+        "--densities",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.01, 0.02, 0.05, 0.1],
+    )
+
+    p_part = sub.add_parser("partition", help="open-problem cover heuristics")
+    common(p_part)
+
+    return parser
+
+
+def _topology(args):
+    from repro.mesh import Mesh2D, Torus2D
+
+    cls = Torus2D if getattr(args, "torus", False) else Mesh2D
+    return cls(args.size, args.size)
+
+
+def _faults(args, shape):
+    from repro.faults import clustered, uniform_random
+
+    rng = np.random.default_rng(args.seed)
+    if getattr(args, "clustered", False):
+        return clustered(shape, args.faults, rng, clusters=3, spread=2.0)
+    return uniform_random(shape, args.faults, rng)
+
+
+def _definition(args):
+    from repro.core import SafetyDefinition
+
+    return SafetyDefinition(args.definition)
+
+
+def _cmd_label(args) -> int:
+    from repro.core import label_mesh, theorems
+    from repro.viz import render_result, svg_of_result
+
+    topo = _topology(args)
+    faults = _faults(args, topo.shape)
+    result = label_mesh(topo, faults, _definition(args), backend=args.backend)
+
+    if not args.no_art and args.size <= 60:
+        print(render_result(result))
+        print()
+    for key, value in result.summary().items():
+        print(f"{key:>16}: {value}")
+    if args.verify:
+        print()
+        failures = 0
+        for outcome in theorems.check_all(result):
+            mark = "ok " if outcome.holds else "FAIL"
+            print(f"[{mark}] {outcome.claim}")
+            failures += 0 if outcome.holds else 1
+        if failures:
+            return 1
+    if args.svg:
+        with open(args.svg, "w", encoding="utf-8") as fh:
+            fh.write(svg_of_result(result))
+        print(f"\nwrote {args.svg}")
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    from repro.analysis import run_fig5
+    from repro.mesh import Mesh2D, Torus2D
+
+    topo_cls = Torus2D if args.torus else Mesh2D
+    curve = run_fig5(
+        _definition(args),
+        topology=topo_cls(args.size, args.size),
+        f_values=range(0, args.f_max + 1, args.f_step),
+        trials=args.trials,
+        seed=args.seed,
+    )
+    print(curve.as_table())
+    return 0
+
+
+def _cmd_route(args) -> int:
+    from repro.analysis import format_table
+    from repro.core import label_mesh
+    from repro.routing import (
+        BFSRouter,
+        FaultModelView,
+        FRingRouter,
+        MinimalRouter,
+        SafetyLevelRouter,
+        WallRouter,
+        XYRouter,
+        evaluate_router,
+        sample_pairs,
+    )
+
+    topo = _topology(args)
+    if topo.wraps:
+        print("route: torus routing is not supported; use a mesh", file=sys.stderr)
+        return 2
+    faults = _faults(args, topo.shape)
+    result = label_mesh(topo, faults, _definition(args))
+    views = {
+        "blocks": FaultModelView.from_blocks(result),
+        "regions": FaultModelView.from_regions(result),
+    }
+    rng = np.random.default_rng(args.seed + 1)
+    pairs = sample_pairs(views["blocks"], args.pairs, rng)
+    rows = []
+    for view_name, view in views.items():
+        routers = [XYRouter(view), SafetyLevelRouter(view), WallRouter(view),
+                   MinimalRouter(view), BFSRouter(view)]
+        if view_name == "blocks":
+            routers.insert(2, FRingRouter(view))
+        for router in routers:
+            m = evaluate_router(router, pairs)
+            rows.append(
+                [
+                    view_name,
+                    m.router,
+                    view.num_enabled,
+                    f"{100 * m.delivery_rate:.1f}%",
+                    f"{m.mean_detour:.2f}",
+                ]
+            )
+    print(
+        format_table(
+            ["model", "router", "enabled", "delivered", "detour"],
+            rows,
+            title=f"{args.size}x{args.size} mesh, {len(faults)} faults, "
+            f"{args.pairs} packets",
+        )
+    )
+    return 0
+
+
+def _cmd_density(args) -> int:
+    from repro.analysis import density_study, format_table
+    from repro.mesh import Mesh2D
+
+    points = density_study(
+        Mesh2D(args.size, args.size),
+        densities=args.densities,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    rows = [
+        [
+            p.density,
+            p.f,
+            p.largest_block.mean,
+            100 * p.imprisoned_fraction.mean,
+            100 * p.freed_fraction.mean,
+            p.enabled_components.mean,
+        ]
+        for p in points
+    ]
+    print(
+        format_table(
+            ["density", "f", "largest blk", "imprisoned %", "freed %", "#comps"],
+            rows,
+            title=f"Density study on a {args.size}x{args.size} mesh",
+        )
+    )
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    from repro.analysis import format_table
+    from repro.geometry import connect_orthoconvex
+    from repro.partition import cluster_cover, exact_cover, guillotine_cover
+
+    topo = _topology(args)
+    faults = _faults(args, topo.shape)
+    if not faults:
+        print("no faults to cover")
+        return 0
+    single = connect_orthoconvex(faults.cells)
+    rows = [["single polygon", 1, len(single) - len(faults)]]
+    for name, fn in (
+        ("cluster", cluster_cover),
+        ("guillotine", guillotine_cover),
+    ):
+        cover = fn(faults.cells)
+        rows.append([name, cover.num_polygons, cover.num_nonfaulty])
+    try:
+        cover = exact_cover(faults.cells)
+        rows.append(["exact", cover.num_polygons, cover.num_nonfaulty])
+    except Exception:
+        rows.append(["exact", "-", "instance too large"])
+    print(
+        format_table(
+            ["strategy", "#polygons", "nonfaulty kept"],
+            rows,
+            title=f"Covers of {len(faults)} faults on {args.size}x{args.size}",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "label": _cmd_label,
+    "fig5": _cmd_fig5,
+    "route": _cmd_route,
+    "density": _cmd_density,
+    "partition": _cmd_partition,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""The paper's two algorithms as distributed per-node programs.
+
+These are direct transliterations of the pseudo-code in Section 3:
+
+* :class:`SafetyProgram` — ``repeat { exchange status; become unsafe if
+  the rule fires } until no change`` under Definition 2a or 2b;
+* :class:`EnableProgram` — same loop for Definition 3's enable rule.
+
+Each program keeps its own status plus the last-heard status of every
+neighbour.  Faulty neighbours never speak and are pinned to
+unsafe/disabled; absent neighbours (mesh boundary) are the ghost ring,
+pinned to safe/enabled.  By default a node re-broadcasts its status only
+when it changes — the converged protocol is then silent, and total
+message count measures real status traffic.  ``chatty=True`` reproduces
+the paper's literal every-round exchange instead (same labels, same
+round count, more messages); the protocol-cost benchmark compares both.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.core.status import SafetyDefinition
+from repro.fabric.program import NodeContext, NodeProgram
+from repro.mesh.coords import Dimension
+from repro.types import Coord
+
+__all__ = ["SafetyProgram", "EnableProgram"]
+
+
+class _StatusExchangeProgram(NodeProgram):
+    """Shared machinery: remember neighbour statuses, rebroadcast own."""
+
+    def __init__(self, ctx: NodeContext, initial_status: bool, chatty: bool):
+        super().__init__(ctx)
+        self._status = initial_status
+        self._chatty = chatty
+        # Last-heard neighbour statuses; live entries are overwritten by
+        # the round-1 inbox (every node speaks at start()).
+        self._heard: Dict[Coord, bool] = {}
+
+    def start(self) -> Mapping[Coord, Any]:
+        return {n: self._status for n in self.ctx.live_neighbors}
+
+    def on_round(self, inbox: Mapping[Coord, Any]) -> Tuple[Mapping[Coord, Any], bool]:
+        # Monotone merge: a neighbour's status only ever rises (safe ->
+        # unsafe, disabled -> enabled), so OR-ing received statuses is
+        # exact — and it makes the protocol immune to the message
+        # reordering an asynchronous network can introduce (a stale
+        # pre-flip status arriving after the flip cannot regress the
+        # receiver's knowledge).
+        for sender, status in inbox.items():
+            self._heard[sender] = self._heard.get(sender, False) or bool(status)
+        new_status = self._rule()
+        changed = new_status != self._status
+        self._status = new_status
+        if changed or self._chatty:
+            return {n: self._status for n in self.ctx.live_neighbors}, changed
+        return {}, changed
+
+    def snapshot(self) -> bool:
+        return self._status
+
+    def _rule(self) -> bool:
+        raise NotImplementedError
+
+
+class SafetyProgram(_StatusExchangeProgram):
+    """Phase-1 node program: safe/unsafe status (Definition 2a or 2b).
+
+    Status ``True`` means *unsafe*.  Nonfaulty nodes start safe; faulty
+    nodes run no program and are treated by their neighbours as
+    permanently unsafe.
+    """
+
+    def __init__(
+        self,
+        ctx: NodeContext,
+        definition: SafetyDefinition,
+        chatty: bool = False,
+    ):
+        super().__init__(ctx, initial_status=False, chatty=chatty)
+        self._definition = definition
+
+    def _unsafe_in_dim(self, dim: Dimension) -> int:
+        """Unsafe neighbours along one dimension (faulty links included;
+        ghost links count as safe, i.e. contribute nothing)."""
+        n = self.ctx.faulty_in_dim(dim)
+        for v in self.ctx.live_neighbors_in_dim(dim):
+            if self._heard.get(v, False):
+                n += 1
+        return n
+
+    def _rule(self) -> bool:
+        if self._status:  # monotone: once unsafe, forever unsafe
+            return True
+        ux = self._unsafe_in_dim(Dimension.X)
+        uy = self._unsafe_in_dim(Dimension.Y)
+        if self._definition is SafetyDefinition.DEF_2A:
+            return (ux + uy) >= 2
+        return ux >= 1 and uy >= 1
+
+
+class EnableProgram(_StatusExchangeProgram):
+    """Phase-2 node program: enabled/disabled status (Definition 3).
+
+    Status ``True`` means *enabled*.  Initialisation comes from the
+    node's own phase-1 outcome: safe nodes start enabled, unsafe
+    nonfaulty nodes start disabled.  Ghost links count as enabled;
+    faulty links as disabled.
+    """
+
+    def __init__(self, ctx: NodeContext, unsafe: bool, chatty: bool = False):
+        super().__init__(ctx, initial_status=not unsafe, chatty=chatty)
+
+    def _rule(self) -> bool:
+        if self._status:  # monotone: once enabled, forever enabled
+            return True
+        count = self.ctx.missing_in_dim(Dimension.X) + self.ctx.missing_in_dim(
+            Dimension.Y
+        )  # ghost neighbours are enabled
+        for v in self.ctx.live_neighbors:
+            if self._heard.get(v, False):
+                count += 1
+        return count >= 2

@@ -1,0 +1,91 @@
+"""Disabled regions: the orthogonal convex polygons of phase 2.
+
+A *disabled region* (DR) consists of adjacent disabled nodes — faulty
+nodes plus the nonfaulty nodes phase 2 could not activate.  Adjacency is
+**king-move (8-connectivity)**: the paper's worked example groups the
+diagonally touching faults ``(2,1)`` and ``(3,2)`` into one region,
+because as closed unit squares they share a corner point and form one
+pinched polygon.
+
+Theorem 1 guarantees every DR is an orthogonal convex polygon and
+Theorem 2 that it is the smallest one covering its faults.  Those are
+*checked*, not assumed, by :mod:`repro.core.theorems`; this module only
+extracts the regions and computes their bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.cells import CellSet
+from repro.geometry.components import connected_components
+from repro.types import BoolGrid
+
+__all__ = ["DisabledRegion", "extract_regions"]
+
+
+@dataclass(frozen=True)
+class DisabledRegion:
+    """One disabled region (orthogonal convex polygon of disabled nodes)."""
+
+    cells: CellSet
+    faults: CellSet
+
+    @property
+    def num_faults(self) -> int:
+        """Number of faulty nodes covered by the region."""
+        return len(self.faults)
+
+    @property
+    def num_nonfaulty(self) -> int:
+        """Number of nonfaulty nodes still kept disabled — the quantity
+        Theorem 2 proves is minimal for an orthoconvex cover."""
+        return len(self.cells) - len(self.faults)
+
+    @property
+    def diameter(self) -> int:
+        """Manhattan diameter of the region."""
+        return self.cells.diameter()
+
+
+def extract_regions(disabled: BoolGrid, faulty: BoolGrid) -> List[DisabledRegion]:
+    """Decompose a disabled mask into disabled regions.
+
+    Parameters
+    ----------
+    disabled:
+        Phase-2 ``unsafe & ~enabled`` mask (must contain every fault).
+    faulty:
+        Ground-truth fault mask.
+
+    Returns
+    -------
+    Regions ordered by their smallest row-major cell.
+
+    Raises
+    ------
+    GeometryError
+        If a fault is not disabled, or a region contains no fault at
+        all (phase 2 can never strand a fault-free region: its nodes
+        would have been enabled; hitting this means corrupt labels).
+    """
+    if disabled.shape != faulty.shape:
+        raise GeometryError(
+            f"label shapes disagree: disabled {disabled.shape} vs faulty {faulty.shape}"
+        )
+    if np.any(faulty & ~disabled):
+        raise GeometryError("a faulty node is missing from the disabled mask")
+
+    regions: List[DisabledRegion] = []
+    for comp in connected_components(CellSet(disabled), connectivity=8):
+        faults_in = CellSet(comp.mask & faulty)
+        if not faults_in:
+            raise GeometryError(
+                f"disabled region {comp!r} contains no fault — phase-2 labels corrupt"
+            )
+        regions.append(DisabledRegion(cells=comp, faults=faults_in))
+    return regions

@@ -1,0 +1,117 @@
+"""Phase 1 — safe/unsafe labeling (Definitions 2a and 2b), vectorized.
+
+The distributed algorithm of the paper initialises every faulty node to
+*unsafe* and every nonfaulty node to *safe*, then repeats synchronous
+rounds in which each nonfaulty node flips to unsafe when its neighbours'
+statuses satisfy the chosen definition, until no status changes.
+
+Because all nodes update simultaneously from the previous round's
+statuses, the distributed execution is exactly a **Jacobi iteration** of
+a monotone operator: statuses only ever move safe -> unsafe, so the
+fixpoint exists, is unique, and is reached in at most the maximum faulty
+block diameter rounds.  This module iterates that operator directly on
+boolean grids — one shifted-view pass per round, no per-node Python —
+and returns both the fixpoint and the number of *changing* rounds, which
+is identical to the round count of the fabric backend
+(:mod:`repro.core.distributed`; a property test pins the two together).
+
+Ghost nodes (mesh boundary) are permanently safe, injected as the
+``fill=False`` of :meth:`~repro.mesh.topology.Topology.shifted`; a torus
+has no boundary and ignores the fill.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.core.status import SafetyDefinition
+from repro.mesh.topology import Topology
+from repro.types import BoolGrid
+
+__all__ = ["unsafe_step", "unsafe_fixpoint"]
+
+
+def unsafe_step(
+    topology: Topology,
+    faulty: BoolGrid,
+    unsafe: BoolGrid,
+    definition: SafetyDefinition,
+) -> BoolGrid:
+    """One synchronous round of the unsafe rule.
+
+    Returns the next unsafe mask given the current one.  Faulty nodes
+    stay unsafe; nonfaulty nodes apply Definition 2a or 2b to their
+    neighbours' *current* labels.
+    """
+    east, west, north, south = topology.neighbor_views(unsafe, fill=False)
+    if definition is SafetyDefinition.DEF_2A:
+        # Unsafe if two or more unsafe neighbours, any dimensions.
+        count = (
+            east.astype(np.int8)
+            + west.astype(np.int8)
+            + north.astype(np.int8)
+            + south.astype(np.int8)
+        )
+        newly = count >= 2
+    else:
+        # Unsafe if an unsafe neighbour in both dimensions.
+        newly = (east | west) & (north | south)
+    return unsafe | newly | faulty
+
+
+def unsafe_fixpoint(
+    topology: Topology,
+    faulty: BoolGrid,
+    definition: SafetyDefinition = SafetyDefinition.DEF_2B,
+    max_rounds: int | None = None,
+) -> Tuple[BoolGrid, int]:
+    """Iterate :func:`unsafe_step` to its fixpoint.
+
+    Parameters
+    ----------
+    topology:
+        Mesh or torus; controls boundary handling.
+    faulty:
+        Ground-truth fault mask of the topology's shape.
+    definition:
+        Which unsafe rule to apply.
+    max_rounds:
+        Safety budget; defaults to the node count + 2, which is a true
+        upper bound for any monotone labeling (every changing round
+        flips at least one node).  Definition 2b converges within the
+        maximum block diameter (the paper's ``max d(B)`` bound), but the
+        more aggressive Definition 2a can cascade across merging blocks
+        and exceed the network diameter, so the loose bound is the only
+        safe default.
+
+    Returns
+    -------
+    (unsafe, rounds):
+        The fixpoint mask and the number of rounds in which at least one
+        node changed status (0 for a fault-free machine).
+
+    Raises
+    ------
+    ConvergenceError
+        If the budget is exhausted — impossible for well-formed inputs,
+        so never silently tolerated.
+    """
+    if faulty.shape != topology.shape:
+        raise ConvergenceError(
+            f"fault mask shape {faulty.shape} != topology shape {topology.shape}"
+        )
+    budget = max_rounds if max_rounds is not None else (topology.num_nodes + 2)
+    unsafe = faulty.copy()
+    rounds = 0
+    for _ in range(budget + 1):
+        nxt = unsafe_step(topology, faulty, unsafe, definition)
+        if np.array_equal(nxt, unsafe):
+            return unsafe, rounds
+        unsafe = nxt
+        rounds += 1
+    raise ConvergenceError(
+        f"unsafe labeling did not converge within {budget} rounds"
+    )

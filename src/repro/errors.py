@@ -1,0 +1,53 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every exception raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library errors without
+accidentally swallowing programming mistakes such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the :mod:`repro` library."""
+
+
+class TopologyError(ReproError):
+    """A coordinate or shape is invalid for the topology it was used with.
+
+    Raised e.g. for out-of-range node addresses on a mesh, non-positive
+    dimensions, or mixing grids of different shapes.
+    """
+
+
+class FaultModelError(ReproError):
+    """A fault specification is invalid (out of range, overlapping, too many
+    faults for the requested region, ...)."""
+
+
+class ProtocolError(ReproError):
+    """A distributed node program violated the fabric engine's contract,
+    e.g. sent a message to a non-neighbour or emitted malformed payloads."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative fixpoint failed to converge within its round budget.
+
+    The labeling fixpoints of the paper are monotone over a finite lattice
+    and therefore always converge; hitting this error indicates either a
+    corrupted label grid or a bug, so it is never silently ignored.
+    """
+
+
+class GeometryError(ReproError):
+    """A geometric precondition was violated (empty cell set where one is
+    required, mismatched grid shapes, malformed rectangle, ...)."""
+
+
+class RoutingError(ReproError):
+    """A routing request is unsatisfiable or malformed, e.g. the source or
+    destination node is faulty/disabled."""
+
+
+class PartitionError(ReproError):
+    """A disabled-region partition request is malformed or infeasible."""

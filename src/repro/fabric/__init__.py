@@ -1,0 +1,28 @@
+"""Distributed execution substrate: a synchronous message-passing fabric.
+
+The paper's algorithms are distributed protocols driven by iterative
+message exchanges among mesh neighbours, executed in lock-step rounds.
+This package simulates exactly that execution model: per-node programs
+(:class:`~repro.fabric.program.NodeProgram`) run on a
+:class:`~repro.fabric.engine.SynchronousEngine` that delivers messages
+round by round, detects quiescence, and records round/message
+statistics — the quantities Figure 5 (a)/(b) of the paper reports.
+"""
+
+from repro.fabric.async_engine import AsynchronousEngine
+from repro.fabric.engine import EngineResult, SynchronousEngine
+from repro.fabric.message import Message
+from repro.fabric.program import NodeContext, NodeProgram
+from repro.fabric.stats import RunStats
+from repro.fabric.trace import RoundTrace
+
+__all__ = [
+    "AsynchronousEngine",
+    "EngineResult",
+    "Message",
+    "NodeContext",
+    "NodeProgram",
+    "RoundTrace",
+    "RunStats",
+    "SynchronousEngine",
+]

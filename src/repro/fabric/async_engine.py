@@ -1,0 +1,161 @@
+"""Asynchronous execution of the labeling protocols.
+
+The paper assumes synchronous lock-step rounds "to simplify our
+discussion" — real machines are not synchronous.  This engine executes
+the same per-node programs under an adversarial asynchronous schedule:
+messages sit in flight for arbitrary (bounded, randomly drawn) delays
+and nodes take steps whenever something arrives, one node at a time.
+
+The labeling protocols tolerate this because their update rules are
+**monotone** (safe→unsafe, disabled→enabled only) and depend only on
+the *latest heard* neighbour status: any delivery order drives the
+system to the same least fixpoint the synchronous engine reaches.
+``tests/properties/test_async_props.py`` pins the two engines to
+identical final labels across random schedules — the self-stabilization
+property that makes the algorithm deployable on real hardware.
+
+Scheduling model
+----------------
+Every message is assigned an integer delivery time ``send_time + d``
+with delay ``d`` drawn uniformly from ``[1, max_delay]``.  At each
+virtual time step, all messages due for a node are handed to it in one
+:meth:`~repro.fabric.program.NodeProgram.on_round` call (the program
+API is delivery-batch based, so it serves both engines unchanged).
+Execution ends when no messages are in flight — for quiescently
+terminating protocols such as the labeling rules this coincides with
+the fixpoint.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.fabric.engine import EngineResult, ProgramFactory
+from repro.fabric.program import NodeContext
+from repro.fabric.stats import RunStats
+from repro.mesh.topology import Topology
+from repro.types import Coord
+
+__all__ = ["AsynchronousEngine"]
+
+
+class AsynchronousEngine:
+    """Event-driven executor with randomly delayed message delivery.
+
+    Parameters
+    ----------
+    topology, faulty, factory:
+        As for :class:`~repro.fabric.engine.SynchronousEngine`.
+    rng:
+        Source of message delays; pass a seeded generator for
+        reproducible schedules.
+    max_delay:
+        Upper bound (inclusive) on per-message delivery delay.  1 makes
+        the schedule synchronous-like (but still serialised per node).
+    max_events:
+        Safety budget on delivery events.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        faulty: frozenset[Coord] | set[Coord],
+        factory: ProgramFactory,
+        rng: np.random.Generator,
+        max_delay: int = 5,
+        max_events: int | None = None,
+    ):
+        if max_delay < 1:
+            raise ProtocolError(f"max_delay must be >= 1, got {max_delay}")
+        self._topology = topology
+        self._faulty = frozenset(faulty)
+        for f in self._faulty:
+            topology.check(f)
+        self._rng = rng
+        self._max_delay = int(max_delay)
+        # Generous: every node can flip once, each flip fans out <= 4
+        # messages, each message may trigger a (non-flipping) step.
+        self._max_events = (
+            max_events
+            if max_events is not None
+            else 40 * topology.num_nodes * self._max_delay + 1000
+        )
+        self._programs = {}
+        for c in topology.nodes():
+            if c not in self._faulty:
+                ctx = NodeContext(topology, c, self._faulty)
+                self._programs[c] = factory(ctx)
+
+    def run(self) -> EngineResult:
+        """Drive the system until no messages remain in flight.
+
+        Returns an :class:`~repro.fabric.engine.EngineResult` whose
+        ``stats.rounds`` holds the number of *delivery events that
+        changed some node's state* (the async analogue of changing
+        rounds; not comparable to synchronous round counts).
+        """
+        stats = RunStats()
+        # Priority queue of (deliver_at, tiebreak, recipient); the
+        # payload map per (time, recipient) keeps only the latest
+        # message per sender, like a real link that overwrites status.
+        queue: list[Tuple[int, int, Coord]] = []
+        pending: Dict[Tuple[int, Coord], Dict[Coord, Any]] = {}
+        tiebreak = count()
+
+        def post(sender: Coord, outgoing: Mapping[Coord, Any], now: int) -> None:
+            neighbors = set(self._topology.neighbors(sender))
+            for dest, payload in outgoing.items():
+                if dest not in neighbors:
+                    raise ProtocolError(f"node {sender} sent to non-neighbour {dest}")
+                if dest in self._faulty:
+                    continue
+                at = now + int(self._rng.integers(1, self._max_delay + 1))
+                key = (at, dest)
+                if key not in pending:
+                    pending[key] = {}
+                    heapq.heappush(queue, (at, next(tiebreak), dest))
+                pending[key][sender] = payload
+
+        for coord, prog in self._programs.items():
+            post(coord, prog.start(), now=0)
+
+        events = 0
+        changing_events = 0
+        messages = 0
+
+        # Initial local wake-up: unlike the synchronous engine, where
+        # every node steps every round, an event-driven node only steps
+        # on delivery — but a rule can fire from static knowledge alone
+        # (ghost links and faulty neighbours count toward the enable
+        # threshold without any message ever arriving).  One empty-inbox
+        # step per node evaluates those static conditions; everything
+        # dynamic afterwards arrives as messages.
+        for coord, prog in self._programs.items():
+            outgoing, changed = prog.on_round({})
+            if changed:
+                changing_events += 1
+            post(coord, outgoing, now=0)
+        while queue:
+            events += 1
+            if events > self._max_events:
+                raise ProtocolError(
+                    f"async engine exceeded {self._max_events} delivery events"
+                )
+            at, _, dest = heapq.heappop(queue)
+            inbox = pending.pop((at, dest))
+            messages += len(inbox)
+            outgoing, changed = self._programs[dest].on_round(inbox)
+            if changed:
+                changing_events += 1
+            post(dest, outgoing, now=at)
+
+        stats.rounds = changing_events
+        stats.messages_per_round = [messages]
+        stats.changes_per_round = [changing_events]
+        snapshots = {c: p.snapshot() for c, p in self._programs.items()}
+        return EngineResult(snapshots, stats, None)

@@ -1,0 +1,162 @@
+"""The synchronous lock-step execution engine.
+
+Runs one :class:`~repro.fabric.program.NodeProgram` per nonfaulty node
+in strict rounds: all messages emitted in round *r* are delivered at the
+start of round *r + 1*; every node then takes exactly one update step.
+Faulty nodes "just cease to work" (paper Section 2): they host no
+program, send nothing, and silently drop anything addressed to them.
+
+Convergence: the engine stops after the first round in which no node
+reports a state change.  The labeling protocols are monotone, so this
+is a true fixpoint, and the number of *changing* rounds matches the
+iteration count of the paper's ``repeat ... until no status change``
+loops (and, by construction, the Jacobi iteration count of the
+vectorized fixpoints in :mod:`repro.core` — a property test holds the
+two backends to that).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping
+
+from repro.errors import ProtocolError
+from repro.fabric.program import NodeContext, NodeProgram
+from repro.fabric.stats import RunStats
+from repro.fabric.trace import RoundTrace
+from repro.mesh.topology import Topology
+from repro.types import Coord
+
+__all__ = ["SynchronousEngine", "EngineResult"]
+
+#: Builds the per-node program from its context.
+ProgramFactory = Callable[[NodeContext], NodeProgram]
+
+
+class EngineResult:
+    """Outcome of a completed engine run: final snapshots plus statistics."""
+
+    __slots__ = ("snapshots", "stats", "trace")
+
+    def __init__(
+        self,
+        snapshots: Dict[Coord, Any],
+        stats: RunStats,
+        trace: RoundTrace | None,
+    ):
+        self.snapshots = snapshots
+        self.stats = stats
+        self.trace = trace
+
+
+class SynchronousEngine:
+    """Lock-step round executor over a topology with a fault set.
+
+    Parameters
+    ----------
+    topology:
+        The mesh or torus the programs run on.
+    faulty:
+        Addresses of faulty nodes; these host no program.
+    factory:
+        Called once per nonfaulty node with its :class:`NodeContext`.
+    max_rounds:
+        Safety budget.  ``None`` uses the node count + 4 — a true upper
+        bound for monotone status protocols, where every changing round
+        flips at least one node.
+    record_trace:
+        When True, snapshot every node after every round (expensive;
+        meant for debugging and the examples' visualisations).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        faulty: frozenset[Coord] | set[Coord],
+        factory: ProgramFactory,
+        max_rounds: int | None = None,
+        record_trace: bool = False,
+    ):
+        self._topology = topology
+        self._faulty = frozenset(faulty)
+        for f in self._faulty:
+            topology.check(f)
+        if max_rounds is None:
+            max_rounds = topology.num_nodes + 4
+        self._max_rounds = int(max_rounds)
+        self._record_trace = bool(record_trace)
+        self._programs: Dict[Coord, NodeProgram] = {}
+        for c in topology.nodes():
+            if c not in self._faulty:
+                ctx = NodeContext(topology, c, self._faulty)
+                self._programs[c] = factory(ctx)
+
+    @property
+    def topology(self) -> Topology:
+        """The topology this engine runs on."""
+        return self._topology
+
+    def run(self) -> EngineResult:
+        """Execute rounds until quiescence; return snapshots and stats.
+
+        Raises
+        ------
+        ProtocolError
+            If a program addresses a non-neighbour or a faulty/ghost
+            node is given a program, or the round budget is exhausted
+            (which, for the monotone labeling protocols, indicates a
+            bug rather than slow convergence).
+        """
+        stats = RunStats()
+        trace = RoundTrace() if self._record_trace else None
+
+        # Round 1's inboxes come from start().
+        pending: Dict[Coord, Dict[Coord, Any]] = {c: {} for c in self._programs}
+        for coord, prog in self._programs.items():
+            self._post(coord, prog.start(), pending)
+
+        if trace is not None:
+            trace.record(0, {c: p.snapshot() for c, p in self._programs.items()})
+
+        for round_no in range(1, self._max_rounds + 1):
+            delivered = sum(len(v) for v in pending.values())
+            nxt: Dict[Coord, Dict[Coord, Any]] = {c: {} for c in self._programs}
+            changes = 0
+            for coord, prog in self._programs.items():
+                outgoing, changed = prog.on_round(pending[coord])
+                if changed:
+                    changes += 1
+                self._post(coord, outgoing, nxt)
+            pending = nxt
+            stats.messages_per_round.append(delivered)
+            stats.changes_per_round.append(changes)
+            if trace is not None:
+                trace.record(
+                    round_no, {c: p.snapshot() for c, p in self._programs.items()}
+                )
+            if changes == 0:
+                snapshots = {c: p.snapshot() for c, p in self._programs.items()}
+                stats.rounds = round_no - 1
+                return EngineResult(snapshots, stats, trace)
+
+        raise ProtocolError(
+            f"engine did not quiesce within {self._max_rounds} rounds"
+        )
+
+    def _post(
+        self,
+        sender: Coord,
+        outgoing: Mapping[Coord, Any],
+        boxes: Dict[Coord, Dict[Coord, Any]],
+    ) -> None:
+        """Validate and enqueue one node's outgoing messages."""
+        if not outgoing:
+            return
+        neighbors = set(self._topology.neighbors(sender))
+        for dest, payload in outgoing.items():
+            if dest not in neighbors:
+                raise ProtocolError(
+                    f"node {sender} sent to non-neighbour {dest}"
+                )
+            if dest in self._faulty:
+                continue  # faulty nodes silently drop traffic
+            boxes[dest][sender] = payload

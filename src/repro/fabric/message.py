@@ -1,0 +1,42 @@
+"""Message envelopes for the synchronous fabric.
+
+A message is what one node hands to a directly connected neighbour
+during one lock-step round.  Payloads are opaque to the engine; the
+labeling protocols of :mod:`repro.core.protocols` send small status
+enums, but any picklable value works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.types import Coord
+
+__all__ = ["Message"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single neighbour-to-neighbour message.
+
+    Attributes
+    ----------
+    sender:
+        Address of the sending node.
+    recipient:
+        Address of the receiving node; must be a topology neighbour of
+        the sender (the engine enforces this — there is no multi-hop
+        delivery in the fabric, exactly as in the paper's model where
+        nodes only exchange status with neighbours).
+    round_no:
+        The round in which the message was sent (delivered at the start
+        of the next round).
+    payload:
+        Application data.
+    """
+
+    sender: Coord
+    recipient: Coord
+    round_no: int
+    payload: Any

@@ -1,0 +1,121 @@
+"""Per-node programs and their execution context.
+
+The paper's algorithms are specified as identical programs running on
+every nonfaulty node, exchanging status with neighbours in synchronous
+rounds ("each round of exchange and update is done in a lock-step
+mode").  A :class:`NodeProgram` is such a program; a
+:class:`NodeContext` gives it its local view of the machine: its own
+address, its live and faulty neighbours, and the mesh boundary
+information needed to treat missing neighbours as ghost nodes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.mesh.coords import Dimension
+from repro.mesh.topology import Topology
+from repro.types import Coord
+
+__all__ = ["NodeContext", "NodeProgram"]
+
+
+class NodeContext:
+    """A node's local view of the machine.
+
+    The context deliberately exposes only information a physical node
+    would have: its address, which of its links exist (mesh boundary),
+    and which neighbours are faulty — the paper assumes "each nonfaulty
+    node knows the status of its neighbors only".
+    """
+
+    __slots__ = ("coord", "_live", "_faulty", "_live_by_dim", "_missing_by_dim")
+
+    def __init__(self, topology: Topology, coord: Coord, faulty: frozenset[Coord]):
+        self.coord = coord
+        live: List[Coord] = []
+        fau: List[Coord] = []
+        live_by_dim: Dict[Dimension, List[Coord]] = {Dimension.X: [], Dimension.Y: []}
+        missing_by_dim: Dict[Dimension, int] = {Dimension.X: 0, Dimension.Y: 0}
+        for dim in (Dimension.X, Dimension.Y):
+            present = topology.neighbors_in_dim(coord, dim)
+            missing_by_dim[dim] = 2 - len(present)
+            for n in present:
+                if n in faulty:
+                    fau.append(n)
+                else:
+                    live.append(n)
+                    live_by_dim[dim].append(n)
+        self._live = tuple(live)
+        self._faulty = tuple(fau)
+        self._live_by_dim = {d: tuple(v) for d, v in live_by_dim.items()}
+        self._missing_by_dim = missing_by_dim
+
+    @property
+    def live_neighbors(self) -> Tuple[Coord, ...]:
+        """Nonfaulty neighbours this node can exchange messages with."""
+        return self._live
+
+    @property
+    def faulty_neighbors(self) -> Tuple[Coord, ...]:
+        """Neighbours known (by local link-level detection) to be faulty."""
+        return self._faulty
+
+    def live_neighbors_in_dim(self, dim: Dimension) -> Tuple[Coord, ...]:
+        """Nonfaulty neighbours along one dimension."""
+        return self._live_by_dim[dim]
+
+    def missing_in_dim(self, dim: Dimension) -> int:
+        """How many of the node's two ``dim``-links leave the mesh.
+
+        The absent neighbours are the paper's *ghost* nodes: permanently
+        safe and enabled.  Always 0 on a torus.
+        """
+        return self._missing_by_dim[dim]
+
+    def faulty_in_dim(self, dim: Dimension) -> int:
+        """Number of faulty neighbours along one dimension."""
+        return sum(1 for n in self._faulty if _same_dim(self.coord, n, dim))
+
+
+def _same_dim(u: Coord, v: Coord, dim: Dimension) -> bool:
+    # Neighbours differ in exactly one coordinate; they are dim-neighbours
+    # when the *other* coordinate matches.
+    other = 1 - int(dim)
+    return u[other] == v[other]
+
+
+class NodeProgram(abc.ABC):
+    """A distributed program replicated on every nonfaulty node.
+
+    Lifecycle, per the engine's lock-step schedule:
+
+    1. :meth:`start` — once, before round 1; returns the messages the
+       node sends in round 1 (typically its initial status to every live
+       neighbour).
+    2. :meth:`on_round` — once per round; receives the payloads that
+       arrived this round keyed by sender, updates local state, and
+       returns ``(outgoing, changed)`` where *outgoing* maps neighbour
+       addresses to payloads and *changed* reports whether externally
+       visible state changed (the engine stops when no node changes).
+    3. :meth:`snapshot` — the node's externally visible state, collected
+       by the driver after convergence.
+    """
+
+    def __init__(self, ctx: NodeContext):
+        self.ctx = ctx
+
+    @abc.abstractmethod
+    def start(self) -> Mapping[Coord, Any]:
+        """Messages to send in the first round."""
+
+    @abc.abstractmethod
+    def on_round(
+        self, inbox: Mapping[Coord, Any]
+    ) -> Tuple[Mapping[Coord, Any], bool]:
+        """Process one round of received payloads; see class docstring."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> Any:
+        """Externally visible state for result collection."""

@@ -1,0 +1,48 @@
+"""Execution statistics for fabric runs.
+
+The paper's Figure 5 (a)/(b) plots the number of rounds the distributed
+labeling needs; :class:`RunStats` is where the engine records that,
+along with message counts that characterise the protocol's communication
+cost (not plotted in the paper but routinely reported for such
+algorithms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["RunStats"]
+
+
+@dataclass
+class RunStats:
+    """Statistics of one synchronous-engine run.
+
+    Attributes
+    ----------
+    rounds:
+        Number of exchange-and-update rounds in which at least one node
+        changed its externally visible state — the paper's "repeat ...
+        until there is no status change" iteration count.  A run whose
+        very first round changes nothing reports 0.
+    messages_per_round:
+        Messages delivered in each executed round (including the final,
+        quiescent round that detected convergence).
+    changes_per_round:
+        Number of nodes that reported a state change in each round.
+    """
+
+    rounds: int = 0
+    messages_per_round: List[int] = field(default_factory=list)
+    changes_per_round: List[int] = field(default_factory=list)
+
+    @property
+    def total_messages(self) -> int:
+        """Messages delivered across the whole run."""
+        return sum(self.messages_per_round)
+
+    @property
+    def executed_rounds(self) -> int:
+        """Rounds the engine actually executed, including the quiescent one."""
+        return len(self.changes_per_round)

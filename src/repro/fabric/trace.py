@@ -1,0 +1,40 @@
+"""Optional round-by-round tracing of fabric runs.
+
+Used by the examples to animate how unsafe/disabled labels spread and
+recede, and by tests that assert intermediate monotonicity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.types import Coord
+
+__all__ = ["RoundTrace"]
+
+
+class RoundTrace:
+    """A sequence of per-round snapshots ``{coord: state}``.
+
+    Entry 0 is the state after :meth:`~repro.fabric.program.NodeProgram.start`
+    but before any exchange; entry *r* is the state after round *r*.
+    """
+
+    __slots__ = ("_frames",)
+
+    def __init__(self) -> None:
+        self._frames: List[Tuple[int, Dict[Coord, Any]]] = []
+
+    def record(self, round_no: int, snapshot: Dict[Coord, Any]) -> None:
+        """Append one frame; called by the engine."""
+        self._frames.append((round_no, dict(snapshot)))
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __getitem__(self, i: int) -> Tuple[int, Dict[Coord, Any]]:
+        return self._frames[i]
+
+    def frames(self) -> List[Tuple[int, Dict[Coord, Any]]]:
+        """All recorded ``(round_no, snapshot)`` frames in order."""
+        return list(self._frames)

@@ -1,0 +1,24 @@
+"""Fault modelling: fault sets and workload generators.
+
+Node-fault injection per the paper's model (faulty nodes cease to work;
+link faults reduce to node faults), plus the random, clustered,
+rectangular and shaped fault patterns used across the benchmarks.
+"""
+
+from repro.faults.faultset import FaultSet
+from repro.faults.generators import (
+    clustered,
+    combined,
+    rectangle_outage,
+    shaped,
+    uniform_random,
+)
+
+__all__ = [
+    "FaultSet",
+    "clustered",
+    "combined",
+    "rectangle_outage",
+    "shaped",
+    "uniform_random",
+]

@@ -1,0 +1,106 @@
+"""Fault sets: which nodes of the machine have failed.
+
+The paper considers node faults only ("link faults can be treated as
+node faults") and assumes faulty nodes simply cease to work.  A
+:class:`FaultSet` is an immutable set of failed node addresses bound to
+a grid shape, with the accessors the labeling pipeline and the fault
+generators need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import FaultModelError
+from repro.geometry.cells import CellSet
+from repro.types import BoolGrid, Coord
+
+__all__ = ["FaultSet"]
+
+
+class FaultSet:
+    """An immutable set of faulty node addresses on a ``(width, height)`` grid."""
+
+    __slots__ = ("_cells",)
+
+    def __init__(self, cells: CellSet):
+        self._cells = cells
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_coords(cls, shape: Tuple[int, int], coords: Iterable[Coord]) -> "FaultSet":
+        """Build from explicit addresses.
+
+        Raises
+        ------
+        FaultModelError
+            If any address lies outside the grid (duplicates are merged).
+        """
+        try:
+            return cls(CellSet.from_coords(shape, coords))
+        except Exception as exc:  # re-home geometry errors in the fault domain
+            raise FaultModelError(str(exc)) from exc
+
+    @classmethod
+    def from_mask(cls, mask: BoolGrid) -> "FaultSet":
+        """Build from a boolean grid indexed ``[x, y]``."""
+        return cls(CellSet(np.asarray(mask, dtype=bool)))
+
+    @classmethod
+    def none(cls, shape: Tuple[int, int]) -> "FaultSet":
+        """The fault-free machine."""
+        return cls(CellSet.empty(shape))
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def cells(self) -> CellSet:
+        """The faults as a geometric cell set."""
+        return self._cells
+
+    @property
+    def mask(self) -> BoolGrid:
+        """Read-only boolean grid, True at faulty nodes."""
+        return self._cells.mask
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Grid shape ``(width, height)``."""
+        return self._cells.shape
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __bool__(self) -> bool:
+        return bool(self._cells)
+
+    def __contains__(self, c: object) -> bool:
+        return c in self._cells
+
+    def __iter__(self) -> Iterator[Coord]:
+        return iter(self._cells)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultSet):
+            return NotImplemented
+        return self._cells == other._cells
+
+    def __hash__(self) -> int:
+        return hash(("FaultSet", self._cells))
+
+    def __repr__(self) -> str:
+        return f"FaultSet(shape={self.shape}, count={len(self)})"
+
+    # -- derived ----------------------------------------------------------------
+
+    def union(self, other: "FaultSet") -> "FaultSet":
+        """Faults of either set (grids must match)."""
+        return FaultSet(self._cells.union(other._cells))
+
+    def fraction(self) -> float:
+        """Fault density ``f / (width * height)``."""
+        w, h = self.shape
+        return len(self) / float(w * h)

@@ -1,0 +1,58 @@
+"""Rectilinear grid geometry: cell sets, components, orthogonal convexity.
+
+This package is the geometric substrate under the paper's fault model:
+cell sets and their connected components, rectangles (faulty blocks),
+orthogonal convexity tests and closures (disabled regions), boundary
+tracing, corner nodes and quadrant analysis (Definition 4, Lemmas 1-3),
+and the canonical L/T/+/U/H fault shapes.
+"""
+
+from repro.geometry.boundary import boundary_loops, corner_cells, perimeter
+from repro.geometry.cells import CellSet
+from repro.geometry.components import (
+    connected_components,
+    is_connected,
+    set_distance,
+)
+from repro.geometry.orthoconvex import (
+    column_runs,
+    fill_spans,
+    is_orthoconvex,
+    orthoconvex_closure,
+    row_runs,
+)
+from repro.geometry.paths import is_monotone_path, monotone_path_within
+from repro.geometry.quadrants import (
+    quadrant_extreme_corner,
+    quadrant_mask,
+    quadrants_with_members,
+)
+from repro.geometry.rectangles import Rect, bounding_rect, is_rectangle
+from repro.geometry.staircase import connect_orthoconvex, staircase_cells
+from repro.geometry import shapes
+
+__all__ = [
+    "CellSet",
+    "Rect",
+    "boundary_loops",
+    "bounding_rect",
+    "column_runs",
+    "connect_orthoconvex",
+    "connected_components",
+    "corner_cells",
+    "fill_spans",
+    "is_connected",
+    "is_monotone_path",
+    "is_orthoconvex",
+    "is_rectangle",
+    "monotone_path_within",
+    "orthoconvex_closure",
+    "perimeter",
+    "quadrant_extreme_corner",
+    "quadrant_mask",
+    "quadrants_with_members",
+    "row_runs",
+    "set_distance",
+    "shapes",
+    "staircase_cells",
+]

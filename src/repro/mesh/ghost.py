@@ -1,0 +1,102 @@
+"""Explicit ghost-frame materialisation for boundary-uniform algorithms.
+
+Section 3 of the paper adds four extra lines of *ghost* nodes adjacent
+to the mesh boundary so that boundary nodes can be treated exactly like
+interior nodes.  Ghost nodes are permanently safe and enabled and never
+participate in routing or labeling.
+
+The vectorized fixpoints in :mod:`repro.core` do not need the frame to
+exist — :meth:`repro.mesh.topology.Topology.shifted` injects the ghost
+label as a fill value.  This module materialises the frame for the two
+places that *do* want it concrete:
+
+* the distributed fabric protocols, where boundary nodes simply see one
+  constant pseudo-message per missing neighbour, and
+* visualisation/debugging, where showing the frame makes boundary
+  behaviour visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.types import BoolGrid, Coord
+
+__all__ = ["GhostFrame"]
+
+
+@dataclass(frozen=True)
+class GhostFrame:
+    """A ``(width+2) x (height+2)`` view of a grid with a one-node ghost ring.
+
+    Interior coordinates are shifted by ``(+1, +1)`` relative to the bare
+    grid: bare node ``(x, y)`` lives at framed position ``(x+1, y+1)``.
+
+    Parameters
+    ----------
+    width, height:
+        The dimensions of the *bare* (ghost-free) grid.
+    """
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise TopologyError(
+                f"dimensions must be positive, got {self.width}x{self.height}"
+            )
+
+    @property
+    def framed_shape(self) -> Tuple[int, int]:
+        """Shape of the framed grid, ``(width+2, height+2)``."""
+        return (self.width + 2, self.height + 2)
+
+    def to_framed(self, c: Coord) -> Coord:
+        """Map a bare node address to its framed position."""
+        return (c[0] + 1, c[1] + 1)
+
+    def to_bare(self, c: Coord) -> Coord:
+        """Map a framed position back to the bare address.
+
+        Raises
+        ------
+        TopologyError
+            If ``c`` is a ghost position.
+        """
+        x, y = c[0] - 1, c[1] - 1
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise TopologyError(f"framed position {c} is a ghost node")
+        return (x, y)
+
+    def is_ghost(self, c: Coord) -> bool:
+        """Whether framed position ``c`` lies on the ghost ring."""
+        x, y = c
+        return x == 0 or y == 0 or x == self.width + 1 or y == self.height + 1
+
+    def frame(self, grid: BoolGrid, ghost_value: bool) -> BoolGrid:
+        """Embed a bare label grid into a framed grid.
+
+        The ghost ring is filled with ``ghost_value`` — ``False`` when the
+        label means *unsafe* or *disabled* (ghosts are safe and enabled),
+        ``True`` when the label means *safe* or *enabled*.
+        """
+        if grid.shape != (self.width, self.height):
+            raise TopologyError(
+                f"grid shape {grid.shape} != bare shape {(self.width, self.height)}"
+            )
+        framed = np.full(self.framed_shape, bool(ghost_value), dtype=bool)
+        framed[1:-1, 1:-1] = grid
+        return framed
+
+    def unframe(self, framed: BoolGrid) -> BoolGrid:
+        """Extract the bare interior of a framed grid (a copy)."""
+        if framed.shape != self.framed_shape:
+            raise TopologyError(
+                f"framed shape {framed.shape} != expected {self.framed_shape}"
+            )
+        return framed[1:-1, 1:-1].copy()

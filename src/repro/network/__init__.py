@@ -1,0 +1,41 @@
+"""Wormhole-switched network substrate.
+
+A cycle-level flit simulator of the switching layer beneath the paper's
+fault model: worms, virtual channels, per-hop routing functions, a
+deadlock watchdog, and synthetic traffic over the enabled nodes of a
+fault-model view.  The network benchmarks use it to demonstrate the
+claims the paper inherits from the wormhole literature — dimension-order
+routing is deadlock-free, cyclic routing on one virtual channel is not,
+and a dateline VC discipline repairs it with just two.
+"""
+
+from repro.network.flits import Flit, FlitKind, WormPacket
+from repro.network.hops import (
+    HopFunction,
+    block_detour_hops,
+    clockwise_ring_hops,
+    xy_hops,
+)
+from repro.network.simulator import (
+    NetworkResult,
+    VCSelector,
+    WormholeNetwork,
+    dateline_vc_policy,
+)
+from repro.network.traffic import source_routed_traffic, uniform_traffic
+
+__all__ = [
+    "Flit",
+    "FlitKind",
+    "HopFunction",
+    "NetworkResult",
+    "VCSelector",
+    "WormPacket",
+    "WormholeNetwork",
+    "block_detour_hops",
+    "clockwise_ring_hops",
+    "dateline_vc_policy",
+    "source_routed_traffic",
+    "uniform_traffic",
+    "xy_hops",
+]

@@ -1,0 +1,112 @@
+"""Flits and packets for the wormhole network simulator.
+
+Wormhole switching — the transport mechanism of the multicomputers the
+paper targets ([2], [6], [7] are all wormhole-routing papers) — cuts a
+packet into *flits*: a head flit that carries the destination and
+reserves channels hop by hop, body flits that follow the worm, and a
+tail flit that releases the channels.  Because a blocked worm keeps its
+channels while waiting for the next one, cyclic waits deadlock the
+network — which is exactly why the convexity of fault regions and the
+virtual-channel structure matter.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.types import Coord
+
+__all__ = ["FlitKind", "Flit", "WormPacket"]
+
+
+class FlitKind(enum.Enum):
+    """Position of a flit within its worm."""
+
+    HEAD = "head"
+    BODY = "body"
+    TAIL = "tail"
+    #: A single-flit packet is simultaneously head and tail.
+    HEAD_TAIL = "head_tail"
+
+    @property
+    def is_head(self) -> bool:
+        return self in (FlitKind.HEAD, FlitKind.HEAD_TAIL)
+
+    @property
+    def is_tail(self) -> bool:
+        return self in (FlitKind.TAIL, FlitKind.HEAD_TAIL)
+
+
+@dataclass(frozen=True)
+class Flit:
+    """One flit of one packet."""
+
+    packet_id: int
+    kind: FlitKind
+    source: Coord
+    dest: Coord
+    index: int  # position within the packet, 0-based
+
+
+@dataclass
+class WormPacket:
+    """A packet awaiting or undergoing wormhole transport.
+
+    Attributes
+    ----------
+    packet_id, source, dest, length:
+        Identity and size (in flits, >= 1).
+    inject_cycle:
+        Cycle at which the packet entered its source queue.
+    start_cycle, finish_cycle:
+        First head-flit movement and tail-flit ejection cycles, filled
+        in by the simulator (None while pending).
+    """
+
+    packet_id: int
+    source: Coord
+    dest: Coord
+    length: int
+    inject_cycle: int
+    start_cycle: Optional[int] = None
+    finish_cycle: Optional[int] = None
+    flits_ejected: int = field(default=0)
+    #: Optional source route: the full node sequence from ``source`` to
+    #: ``dest`` carried in the head flit.  When set, the simulator
+    #: follows it verbatim and ignores its hop function — which lets any
+    #: path-computing router (f-ring, wall-following, BFS) drive the
+    #: wormhole network, detour loops included.
+    path: Optional[tuple] = None
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError(f"packet length must be >= 1, got {self.length}")
+        if self.path is not None:
+            if len(self.path) < 1 or self.path[0] != self.source:
+                raise ValueError("source route must start at the packet source")
+            if self.path[-1] != self.dest:
+                raise ValueError("source route must end at the packet destination")
+
+    def flits(self):
+        """Generate the packet's flit sequence."""
+        if self.length == 1:
+            yield Flit(self.packet_id, FlitKind.HEAD_TAIL, self.source, self.dest, 0)
+            return
+        yield Flit(self.packet_id, FlitKind.HEAD, self.source, self.dest, 0)
+        for i in range(1, self.length - 1):
+            yield Flit(self.packet_id, FlitKind.BODY, self.source, self.dest, i)
+        yield Flit(self.packet_id, FlitKind.TAIL, self.source, self.dest, self.length - 1)
+
+    @property
+    def delivered(self) -> bool:
+        """Whether the whole worm has been ejected at the destination."""
+        return self.finish_cycle is not None
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Injection-to-ejection cycles, once delivered."""
+        if self.finish_cycle is None:
+            return None
+        return self.finish_cycle - self.inject_cycle

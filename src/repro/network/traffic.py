@@ -1,0 +1,120 @@
+"""Traffic generation for the wormhole simulator.
+
+Standard synthetic workloads: uniform random permutation traffic over
+the *enabled* nodes of a fault-model view, with a Bernoulli injection
+process per cycle.  Endpoints are drawn from the enabled set only —
+faulty and disabled nodes host no traffic, per the paper's rule that
+only enabled nodes participate in routing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.network.flits import WormPacket
+from repro.routing.base import FaultModelView, Router
+from repro.types import Coord
+
+__all__ = ["uniform_traffic", "source_routed_traffic"]
+
+
+def uniform_traffic(
+    view: FaultModelView,
+    num_packets: int,
+    rng: np.random.Generator,
+    packet_length: int = 4,
+    injection_rate: float = 0.1,
+) -> List[WormPacket]:
+    """Uniform random source/destination worms with Bernoulli injection.
+
+    Parameters
+    ----------
+    view:
+        Supplies the enabled endpoints.
+    num_packets:
+        Total packets to generate.
+    rng:
+        Seeded generator.
+    packet_length:
+        Flits per packet.
+    injection_rate:
+        Expected packets injected per cycle (across the whole machine);
+        inter-arrival gaps are geometric with this rate.
+
+    Raises
+    ------
+    RoutingError
+        On a non-positive injection rate or packet length.
+    """
+    if packet_length < 1:
+        raise RoutingError(f"packet length must be >= 1, got {packet_length}")
+    if not 0 < injection_rate:
+        raise RoutingError(f"injection rate must be positive, got {injection_rate}")
+    packets: List[WormPacket] = []
+    cycle = 0
+    for pid in range(num_packets):
+        source, dest = view.random_enabled_pair(rng)
+        packets.append(
+            WormPacket(
+                packet_id=pid,
+                source=source,
+                dest=dest,
+                length=packet_length,
+                inject_cycle=cycle,
+            )
+        )
+        cycle += int(rng.geometric(min(1.0, injection_rate)))
+    return packets
+
+
+def source_routed_traffic(
+    router: Router,
+    pairs: Sequence[Tuple[Coord, Coord]],
+    rng: np.random.Generator,
+    packet_length: int = 4,
+    injection_rate: float = 0.1,
+) -> Tuple[List[WormPacket], int]:
+    """Worms carrying full source routes computed by a path router.
+
+    Each pair is routed up front with ``router``; delivered routes
+    become source-routed worms (the head flit "carries" the path, a
+    standard wormhole option), undeliverable pairs are counted and
+    skipped.  This is how the benchmarks drive the wormhole network
+    with the f-ring and wall-following detour routers, whose paths are
+    stateful and therefore cannot be expressed as memoryless hop
+    functions.
+
+    Returns
+    -------
+    (packets, unroutable):
+        The worms, plus how many pairs the router could not serve.
+    """
+    if packet_length < 1:
+        raise RoutingError(f"packet length must be >= 1, got {packet_length}")
+    if not 0 < injection_rate:
+        raise RoutingError(f"injection rate must be positive, got {injection_rate}")
+    packets: List[WormPacket] = []
+    unroutable = 0
+    cycle = 0
+    pid = 0
+    for source, dest in pairs:
+        result = router.route(source, dest)
+        if not result.delivered:
+            unroutable += 1
+            continue
+        packets.append(
+            WormPacket(
+                packet_id=pid,
+                source=source,
+                dest=dest,
+                length=packet_length,
+                inject_cycle=cycle,
+                path=tuple(result.path),
+            )
+        )
+        pid += 1
+        cycle += int(rng.geometric(min(1.0, injection_rate)))
+    return packets, unroutable

@@ -1,0 +1,17 @@
+"""The paper's open problem: partitioning fault covers further.
+
+Section 4 closes with an open problem, conjectured NP-complete: cover a
+faulty block's faults with a set of orthogonal convex polygons holding
+the minimum number of nonfaulty nodes.  This package provides two
+polynomial heuristics (proximity clustering and guillotine cuts), an
+exhaustive exact search for small instances, and the cover evaluation
+machinery; the ``bench_partition`` benchmark scores them against the
+single-polygon disabled-region baseline.
+"""
+
+from repro.partition.clusters import cluster_cover
+from repro.partition.cuts import guillotine_cover
+from repro.partition.evaluate import FaultCover
+from repro.partition.exact import exact_cover
+
+__all__ = ["FaultCover", "cluster_cover", "exact_cover", "guillotine_cover"]

@@ -1,0 +1,57 @@
+"""Fault-tolerant routing over the paper's fault models.
+
+The application layer the labeling exists for.  A
+:class:`~repro.routing.base.FaultModelView` exposes which nodes may
+carry traffic under the classic faulty-block model or the paper's
+refined disabled-region model; routers (dimension-order XY, boundary
+wall-following, minimal-adaptive, and a BFS oracle) run over either
+view, and the metrics/CDG modules quantify delivery, detours and
+deadlock-freedom.
+"""
+
+from repro.routing.base import FaultModelView, Router
+from repro.routing.bfs import BFSRouter
+from repro.routing.broadcast import BroadcastResult, broadcast
+from repro.routing.cdg import (
+    all_enabled_pairs,
+    channel_dependency_graph,
+    deadlock_cycles,
+    is_deadlock_free,
+)
+from repro.routing.channels import Channel, all_channels
+from repro.routing.fring import FRingRouter
+from repro.routing.metrics import RoutingMetrics, evaluate_router, sample_pairs
+from repro.routing.minimal import MinimalRouter, minimal_feasible
+from repro.routing.safety_levels import SafetyLevelRouter, safety_levels
+from repro.routing.turns import NegativeFirstRouter, WestFirstRouter
+from repro.routing.packet import DropReason, RouteResult
+from repro.routing.wall import WallRouter
+from repro.routing.xy import XYRouter
+
+__all__ = [
+    "BFSRouter",
+    "BroadcastResult",
+    "broadcast",
+    "Channel",
+    "DropReason",
+    "FRingRouter",
+    "FaultModelView",
+    "MinimalRouter",
+    "NegativeFirstRouter",
+    "Router",
+    "WestFirstRouter",
+    "RouteResult",
+    "RoutingMetrics",
+    "SafetyLevelRouter",
+    "WallRouter",
+    "XYRouter",
+    "safety_levels",
+    "all_channels",
+    "all_enabled_pairs",
+    "channel_dependency_graph",
+    "deadlock_cycles",
+    "evaluate_router",
+    "is_deadlock_free",
+    "minimal_feasible",
+    "sample_pairs",
+]

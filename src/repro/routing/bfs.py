@@ -1,0 +1,47 @@
+"""Breadth-first shortest-path routing — the omniscient oracle.
+
+Not a realizable distributed router (it needs global fault knowledge),
+but the ground truth the benchmarks measure everything else against:
+it delivers iff the destination is reachable in the enabled subgraph,
+and its hop count is the true shortest path.  The gap between a local
+router and this oracle isolates algorithmic loss from model loss; the
+gap between the oracle under the block view and under the region view
+is precisely the routing value of the paper's refined fault model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict
+
+from repro.routing.base import Router
+from repro.routing.packet import DropReason, RouteResult, finish
+from repro.types import Coord
+
+__all__ = ["BFSRouter"]
+
+
+class BFSRouter(Router):
+    """Shortest-path routing over the enabled subgraph (any topology)."""
+
+    name = "bfs-oracle"
+
+    def _route(self, source: Coord, dest: Coord) -> RouteResult:
+        parent: Dict[Coord, Coord] = {source: source}
+        q = deque([source])
+        topo = self.view.topology
+        while q:
+            at = q.popleft()
+            if at == dest:
+                break
+            for nxt in topo.neighbors(at):
+                if nxt not in parent and self.view.is_enabled(nxt):
+                    parent[nxt] = at
+                    q.append(nxt)
+        if dest not in parent:
+            return finish(source, dest, [source], DropReason.UNREACHABLE)
+        path = [dest]
+        while path[-1] != source:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return finish(source, dest, path, DropReason.NONE)

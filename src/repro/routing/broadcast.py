@@ -1,0 +1,83 @@
+"""Fault-tolerant broadcast over the enabled subgraph.
+
+Collective communication is the other half of the paper's motivation —
+its reference [8] studies multicast on wormhole meshes with faults.
+This module implements the baseline every such scheme is measured
+against: flooding a message from a root along a breadth-first spanning
+tree of the *enabled* nodes, one hop per step (each informed node
+forwards to its uninformed enabled neighbours).
+
+The fault-model comparison is direct: under the refined disabled-region
+view more nodes are enabled, so a broadcast reaches more of the machine
+and — because activated nodes plug holes in the enabled subgraph — can
+need fewer steps to cover the same nodes.  The ``bench_broadcast``
+benchmark quantifies both effects.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import RoutingError
+from repro.routing.base import FaultModelView
+from repro.types import Coord
+
+__all__ = ["BroadcastResult", "broadcast"]
+
+
+@dataclass(frozen=True)
+class BroadcastResult:
+    """Outcome of one flooding broadcast."""
+
+    root: Coord
+    reached: Tuple[Coord, ...]
+    steps: int                      # rounds until the last node was informed
+    num_enabled: int                # size of the enabled universe
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of enabled nodes the broadcast reached."""
+        return len(self.reached) / self.num_enabled if self.num_enabled else 1.0
+
+    def depth_of(self, node: Coord) -> int | None:
+        """Steps after which ``node`` was informed, or None if unreached."""
+        return self._depths.get(node)
+
+    # Populated by broadcast(); kept off the dataclass compare/repr.
+    @property
+    def _depths(self) -> Dict[Coord, int]:
+        return object.__getattribute__(self, "_depth_map")
+
+
+def broadcast(view: FaultModelView, root: Coord) -> BroadcastResult:
+    """Flood from ``root`` through enabled nodes, one hop per step.
+
+    Raises
+    ------
+    RoutingError
+        If the root is not an enabled node.
+    """
+    if not view.is_enabled(root):
+        raise RoutingError(f"broadcast root {root} is not an enabled node")
+    depths: Dict[Coord, int] = {root: 0}
+    q = deque([root])
+    topo = view.topology
+    last = 0
+    while q:
+        at = q.popleft()
+        d = depths[at]
+        for nxt in topo.neighbors(at):
+            if nxt not in depths and view.is_enabled(nxt):
+                depths[nxt] = d + 1
+                last = max(last, d + 1)
+                q.append(nxt)
+    result = BroadcastResult(
+        root=root,
+        reached=tuple(sorted(depths)),
+        steps=last,
+        num_enabled=view.num_enabled,
+    )
+    object.__setattr__(result, "_depth_map", dict(depths))
+    return result

@@ -1,0 +1,57 @@
+"""Channels and virtual channels.
+
+A *channel* is one direction of one physical link; deadlock analysis
+works on channels, not links.  Virtual channels multiplex a physical
+channel into several logical ones with separate buffers — the mechanism
+the paper's Section 1 refers to when noting that convex fault regions
+let routing algorithms stay deadlock-free "using relatively few virtual
+channels".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import RoutingError
+from repro.mesh.topology import Topology
+from repro.types import Coord
+
+__all__ = ["Channel", "all_channels"]
+
+
+@dataclass(frozen=True, order=True)
+class Channel:
+    """One directed (virtual) channel ``src -> dst`` with a VC index."""
+
+    src: Coord
+    dst: Coord
+    vc: int = 0
+
+    def __post_init__(self) -> None:
+        # Mesh links differ by 1 in one dimension; torus wrap links differ
+        # by (extent - 1).  Either way the endpoints must differ in exactly
+        # one dimension and must not coincide.
+        dx = abs(self.src[0] - self.dst[0])
+        dy = abs(self.src[1] - self.dst[1])
+        if (dx == 0) == (dy == 0):
+            raise RoutingError(f"channel endpoints {self.src}->{self.dst} not adjacent")
+        if self.vc < 0:
+            raise RoutingError(f"virtual channel index must be >= 0, got {self.vc}")
+
+    @property
+    def physical(self) -> "Channel":
+        """The underlying physical channel (VC index 0)."""
+        return Channel(self.src, self.dst, 0)
+
+
+def all_channels(topology: Topology, num_vcs: int = 1) -> List[Channel]:
+    """Every directed channel of the topology, times ``num_vcs``."""
+    if num_vcs < 1:
+        raise RoutingError(f"need at least one virtual channel, got {num_vcs}")
+    out: List[Channel] = []
+    for c in topology.nodes():
+        for n in topology.neighbors(c):
+            for vc in range(num_vcs):
+                out.append(Channel(c, n, vc))
+    return out

@@ -1,0 +1,85 @@
+"""Packets and routing outcomes.
+
+The routing layer exists because the paper's whole point is a *fault
+model for routing*: the fewer nonfaulty nodes a fault region disables,
+the more routes survive and the shorter the detours.  A
+:class:`RouteResult` records one packet's fate in enough detail for the
+metrics module to compute delivery rates, hop counts and detour ratios.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.types import Coord
+
+__all__ = ["DropReason", "RouteResult"]
+
+
+class DropReason(enum.Enum):
+    """Why a packet failed to reach its destination."""
+
+    NONE = "delivered"
+    BLOCKED = "blocked"            # no permitted next hop at some node
+    BUDGET = "hop budget exhausted"  # possible livelock cut short
+    UNREACHABLE = "destination unreachable in the enabled subgraph"
+    BAD_ENDPOINT = "source or destination not an enabled node"
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of routing one packet.
+
+    Attributes
+    ----------
+    source, dest:
+        The endpoints requested.
+    delivered:
+        Whether the packet arrived.
+    path:
+        Nodes visited, starting at ``source``; ends at ``dest`` iff
+        delivered.
+    reason:
+        Drop cause (``DropReason.NONE`` when delivered).
+    """
+
+    source: Coord
+    dest: Coord
+    delivered: bool
+    path: Tuple[Coord, ...]
+    reason: DropReason = DropReason.NONE
+
+    @property
+    def hops(self) -> int:
+        """Number of links traversed."""
+        return max(0, len(self.path) - 1)
+
+    @property
+    def manhattan(self) -> int:
+        """The minimal possible hop count in a fault-free mesh."""
+        return abs(self.source[0] - self.dest[0]) + abs(self.source[1] - self.dest[1])
+
+    @property
+    def detour(self) -> int:
+        """Extra hops beyond the Manhattan distance (0 for minimal paths)."""
+        return self.hops - self.manhattan
+
+    @property
+    def is_minimal(self) -> bool:
+        """Whether the packet travelled a minimal (shortest-possible) path."""
+        return self.delivered and self.detour == 0
+
+
+def finish(
+    source: Coord, dest: Coord, path: List[Coord], reason: DropReason
+) -> RouteResult:
+    """Build a result; ``reason == NONE`` marks delivery."""
+    return RouteResult(
+        source=source,
+        dest=dest,
+        delivered=reason is DropReason.NONE,
+        path=tuple(path),
+        reason=reason,
+    )

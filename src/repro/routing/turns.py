@@ -1,0 +1,167 @@
+"""Turn-model routing: west-first and negative-first.
+
+Glass and Ni's turn model is the other classic road to deadlock freedom
+on a single virtual channel: instead of ordering dimensions (XY), it
+forbids just enough *turns* to break every dependency cycle, leaving
+partial adaptivity that helps around fault regions.
+
+* **West-first**: all westward hops must happen before anything else;
+  once a packet moves north/south/east it may never turn west.  The two
+  forbidden turns (N->W, S->W) kill both abstract cycles.
+* **Negative-first**: all negative hops (west, south) first; a packet
+  that has moved in a positive direction may never turn negative.
+
+Both are implemented as adaptive routers over a fault-model view: among
+the turn-legal hops that make progress, prefer an enabled one; when all
+progress hops are disabled, the packet may misroute along legal
+non-progress directions (bounded by the hop budget).  The CDG tests
+verify the deadlock-freedom of the legal-turn relation exhaustively on
+small meshes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.routing.base import Router
+from repro.routing.packet import DropReason, RouteResult, finish
+from repro.types import Coord
+
+__all__ = ["WestFirstRouter", "NegativeFirstRouter"]
+
+
+class _TurnModelRouter(Router):
+    """Shared scaffolding: route greedily among turn-legal hops."""
+
+    def _route(self, source: Coord, dest: Coord) -> RouteResult:
+        path = [source]
+        at = source
+        prev: Optional[Coord] = None  # 180-degree reversals are illegal turns
+        phase_one = True  # still in the restricted first phase
+        visited = set()
+        while at != dest:
+            if len(path) > self.max_hops:
+                return finish(source, dest, path, DropReason.BUDGET)
+            phase_one = phase_one and self._still_phase_one(at, dest)
+            state = (at, prev, phase_one)
+            if state in visited:
+                return finish(source, dest, path, DropReason.BLOCKED)
+            visited.add(state)
+            nxt = self._pick(at, dest, phase_one, prev)
+            if nxt is None:
+                return finish(source, dest, path, DropReason.BLOCKED)
+            path.append(nxt)
+            prev, at = at, nxt
+        return finish(source, dest, path, DropReason.NONE)
+
+    # Subclass hooks -----------------------------------------------------------
+
+    def _still_phase_one(self, at: Coord, dest: Coord) -> bool:
+        raise NotImplementedError
+
+    def _pick(
+        self, at: Coord, dest: Coord, phase_one: bool, prev: Optional[Coord]
+    ) -> Optional[Coord]:
+        raise NotImplementedError
+
+    # Helpers --------------------------------------------------------------------
+
+    def _enabled(self, c: Coord) -> bool:
+        return self.view.is_enabled(c)
+
+    @staticmethod
+    def _east(at: Coord) -> Coord:
+        return (at[0] + 1, at[1])
+
+    @staticmethod
+    def _west(at: Coord) -> Coord:
+        return (at[0] - 1, at[1])
+
+    @staticmethod
+    def _north(at: Coord) -> Coord:
+        return (at[0], at[1] + 1)
+
+    @staticmethod
+    def _south(at: Coord) -> Coord:
+        return (at[0], at[1] - 1)
+
+
+class WestFirstRouter(_TurnModelRouter):
+    """West-first turn-model routing.
+
+    Westward correction happens first and exclusively; afterwards the
+    packet routes adaptively among east/north/south but never turns
+    west again.
+    """
+
+    name = "west-first"
+
+    def _still_phase_one(self, at: Coord, dest: Coord) -> bool:
+        return dest[0] < at[0]
+
+    def _pick(
+        self, at: Coord, dest: Coord, phase_one: bool, prev: Optional[Coord]
+    ) -> Optional[Coord]:
+        if phase_one:
+            # Only westward movement is allowed while west of us remains.
+            w = self._west(at)
+            return w if self._enabled(w) else None
+        # Adaptive among progress hops east/north/south.
+        candidates: List[Coord] = []
+        if dest[0] > at[0]:
+            candidates.append(self._east(at))
+        if dest[1] > at[1]:
+            candidates.append(self._north(at))
+        elif dest[1] < at[1]:
+            candidates.append(self._south(at))
+        for c in candidates:
+            if c != prev and self._enabled(c):
+                return c
+        # Legal misroutes (never west, never a reversal).
+        for c in (self._east(at), self._north(at), self._south(at)):
+            if c != prev and self._enabled(c) and c not in candidates:
+                return c
+        return None
+
+
+class NegativeFirstRouter(_TurnModelRouter):
+    """Negative-first turn-model routing.
+
+    All west/south correction first (adaptively between the two);
+    afterwards only east/north hops are legal.
+    """
+
+    name = "negative-first"
+
+    def _still_phase_one(self, at: Coord, dest: Coord) -> bool:
+        return dest[0] < at[0] or dest[1] < at[1]
+
+    def _pick(
+        self, at: Coord, dest: Coord, phase_one: bool, prev: Optional[Coord]
+    ) -> Optional[Coord]:
+        if phase_one:
+            candidates = []
+            if dest[0] < at[0]:
+                candidates.append(self._west(at))
+            if dest[1] < at[1]:
+                candidates.append(self._south(at))
+            for c in candidates:
+                if c != prev and self._enabled(c):
+                    return c
+            # Legal misroutes in phase one: the other negative direction.
+            for c in (self._west(at), self._south(at)):
+                if c != prev and self._enabled(c) and c not in candidates:
+                    return c
+            return None
+        candidates = []
+        if dest[0] > at[0]:
+            candidates.append(self._east(at))
+        if dest[1] > at[1]:
+            candidates.append(self._north(at))
+        for c in candidates:
+            if c != prev and self._enabled(c):
+                return c
+        for c in (self._east(at), self._north(at)):
+            if c != prev and self._enabled(c) and c not in candidates:
+                return c
+        return None

@@ -1,0 +1,36 @@
+"""Dimension-order (XY) routing — the fault-intolerant baseline.
+
+The packet first corrects its X offset, then its Y offset.  In a
+fault-free mesh this is minimal and deadlock-free (the classic e-cube
+result, re-verified by the CDG tests); with faults it drops the packet
+at the first disabled node on its fixed path, which is exactly why the
+fault-tolerant literature the paper belongs to exists.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import Router
+from repro.routing.packet import DropReason, RouteResult, finish
+from repro.types import Coord
+
+__all__ = ["XYRouter"]
+
+
+class XYRouter(Router):
+    """Deterministic X-then-Y dimension-order routing."""
+
+    name = "xy"
+
+    def _route(self, source: Coord, dest: Coord) -> RouteResult:
+        path = [source]
+        at = source
+        while at != dest:
+            if len(path) > self.max_hops:
+                return finish(source, dest, path, DropReason.BUDGET)
+            preferred = self._xy_preferred(at, dest)
+            nxt = preferred[0]  # strict dimension order: X before Y
+            if not self.view.is_enabled(nxt):
+                return finish(source, dest, path, DropReason.BLOCKED)
+            path.append(nxt)
+            at = nxt
+        return finish(source, dest, path, DropReason.NONE)

@@ -1,0 +1,46 @@
+"""Shared type aliases and tiny value helpers used across subpackages.
+
+The library standardises on the paper's addressing convention: a node
+``u`` has address ``(u_x, u_y)`` with ``x`` the horizontal dimension
+(dimension 0) and ``y`` the vertical dimension (dimension 1).  All NumPy
+grids are therefore indexed ``grid[x, y]`` and have shape
+``(width, height)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import numpy.typing as npt
+
+#: A node address ``(x, y)`` in a 2-D mesh or torus.
+Coord = Tuple[int, int]
+
+#: A boolean label grid of shape ``(width, height)`` indexed ``[x, y]``.
+BoolGrid = npt.NDArray[np.bool_]
+
+#: An integer grid of shape ``(width, height)`` indexed ``[x, y]``.
+IntGrid = npt.NDArray[np.int64]
+
+
+def manhattan(u: Coord, v: Coord) -> int:
+    """Manhattan (L1) distance between two mesh addresses.
+
+    This is the paper's ``d(u, v) = |u_x - v_x| + |u_y - v_y|``.
+    """
+    return abs(u[0] - v[0]) + abs(u[1] - v[1])
+
+
+def as_bool_grid(arr: npt.ArrayLike, shape: Tuple[int, int] | None = None) -> BoolGrid:
+    """Coerce ``arr`` to a C-contiguous boolean grid, optionally checking shape.
+
+    Raises
+    ------
+    ValueError
+        If ``shape`` is given and does not match.
+    """
+    out = np.ascontiguousarray(arr, dtype=bool)
+    if shape is not None and out.shape != tuple(shape):
+        raise ValueError(f"expected grid of shape {tuple(shape)}, got {out.shape}")
+    return out

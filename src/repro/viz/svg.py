@@ -1,0 +1,162 @@
+"""Dependency-free SVG export of fault polygons and label grids.
+
+Writes publication-style pictures of the paper's constructions —
+faults, faulty-block rectangles and disabled-region polygons — as
+standalone SVG files.  No plotting library is required (none is
+available offline); the SVG is assembled textually, with polygon
+outlines taken from :func:`repro.geometry.boundary.boundary_loops`.
+
+Coordinate convention matches the figures: the origin is the grid's
+south-west corner, so the y axis is flipped relative to SVG's
+screen-down convention.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.pipeline import LabelingResult
+from repro.geometry.boundary import boundary_loops
+from repro.geometry.cells import CellSet
+
+__all__ = ["svg_of_result", "svg_of_cells", "svg_of_route"]
+
+# A small colour-blind-safe palette.
+_FILL_FAULTY = "#1f1f1f"
+_FILL_DISABLED = "#e0a43c"
+_FILL_ACTIVATED = "#7cc674"
+_FILL_SAFE = "#f4f4f4"
+_STROKE_BLOCK = "#c9190b"
+_STROKE_REGION = "#06c"
+
+
+def _header(w: int, h: int, scale: int) -> List[str]:
+    return [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{w * scale}" height="{h * scale}" '
+        f'viewBox="0 0 {w * scale} {h * scale}">',
+    ]
+
+
+def _rect(x: int, y: int, h: int, scale: int, fill: str) -> str:
+    # Flip y: cell (x, y) has its top edge at grid y+1.
+    top = (h - 1 - y) * scale
+    return (
+        f'<rect x="{x * scale}" y="{top}" width="{scale}" height="{scale}" '
+        f'fill="{fill}" stroke="#ffffff" stroke-width="0.5"/>'
+    )
+
+
+def _loops_path(cells: CellSet, h: int, scale: int, stroke: str, width: float) -> str:
+    parts: List[str] = []
+    for loop in boundary_loops(cells):
+        pts = " ".join(f"{x * scale},{(h - y) * scale}" for x, y in loop)
+        parts.append(
+            f'<polygon points="{pts}" fill="none" '
+            f'stroke="{stroke}" stroke-width="{width}"/>'
+        )
+    return "\n".join(parts)
+
+
+def svg_of_result(
+    result: LabelingResult,
+    scale: int = 12,
+    outline_blocks: bool = True,
+    outline_regions: bool = True,
+) -> str:
+    """Render a labeling result as an SVG document string.
+
+    Cells are coloured by composite status; faulty-block rectangles and
+    disabled-region polygons are outlined on top.
+    """
+    w, h = result.labels.shape
+    doc = _header(w, h, scale)
+    labels = result.labels
+    for x in range(w):
+        for y in range(h):
+            if labels.faulty[x, y]:
+                fill = _FILL_FAULTY
+            elif labels.disabled[x, y]:
+                fill = _FILL_DISABLED
+            elif labels.unsafe[x, y]:
+                fill = _FILL_ACTIVATED
+            else:
+                fill = _FILL_SAFE
+            doc.append(_rect(x, y, h, scale, fill))
+    if outline_blocks:
+        for b in result.blocks:
+            doc.append(_loops_path(b.cells, h, scale, _STROKE_BLOCK, 1.5))
+    if outline_regions:
+        for r in result.regions:
+            doc.append(_loops_path(r.cells, h, scale, _STROKE_REGION, 2.0))
+    doc.append("</svg>")
+    return "\n".join(doc)
+
+
+def svg_of_route(
+    result: LabelingResult,
+    path: Sequence[Tuple[int, int]],
+    scale: int = 12,
+    stroke: str = "#7a0ecc",
+) -> str:
+    """Render a labeling result with one routed path drawn on top.
+
+    ``path`` is a node sequence (e.g. ``RouteResult.path``); it is drawn
+    as a polyline through cell centres with the source and destination
+    marked.  Used by the routing examples to show detours hugging the
+    fault polygons.
+    """
+    base = svg_of_result(result, scale=scale)
+    if len(path) == 0:
+        return base
+    w, h = result.labels.shape
+
+    def centre(c: Tuple[int, int]) -> Tuple[float, float]:
+        return ((c[0] + 0.5) * scale, (h - 1 - c[1] + 0.5) * scale)
+
+    overlay: List[str] = []
+    if len(path) > 1:
+        pts = " ".join(f"{x:.1f},{y:.1f}" for x, y in map(centre, path))
+        overlay.append(
+            f'<polyline points="{pts}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{scale / 4:.1f}" stroke-linejoin="round" '
+            f'stroke-linecap="round" opacity="0.85"/>'
+        )
+    sx, sy = centre(path[0])
+    dx, dy = centre(path[-1])
+    r = scale / 3
+    overlay.append(f'<circle cx="{sx:.1f}" cy="{sy:.1f}" r="{r:.1f}" fill="{stroke}"/>')
+    overlay.append(
+        f'<circle cx="{dx:.1f}" cy="{dy:.1f}" r="{r:.1f}" fill="none" '
+        f'stroke="{stroke}" stroke-width="2"/>'
+    )
+    return base.replace("</svg>", "\n".join(overlay) + "\n</svg>")
+
+
+def svg_of_cells(
+    layers: Sequence[Tuple[CellSet, str]],
+    shape: Tuple[int, int],
+    scale: int = 12,
+    outline: bool = True,
+) -> str:
+    """Render stacked cell-set layers, each with a fill colour.
+
+    ``layers`` are painted in order (later layers over earlier ones);
+    with ``outline`` each layer also gets its boundary traced.
+    """
+    w, h = shape
+    doc = _header(w, h, scale)
+    doc.append(
+        f'<rect x="0" y="0" width="{w * scale}" height="{h * scale}" '
+        f'fill="{_FILL_SAFE}"/>'
+    )
+    for cells, colour in layers:
+        for x, y in cells:
+            doc.append(_rect(x, y, h, scale, colour))
+    if outline:
+        for cells, colour in layers:
+            if cells:
+                doc.append(_loops_path(cells, h, scale, "#333333", 1.0))
+    doc.append("</svg>")
+    return "\n".join(doc)

@@ -1,0 +1,62 @@
+"""Unit tests for the fault-density study."""
+
+import pytest
+
+from repro.analysis import density_study
+from repro.core import SafetyDefinition
+from repro.mesh import Mesh2D
+
+
+@pytest.fixture(scope="module")
+def points():
+    return density_study(
+        Mesh2D(24, 24), densities=[0.0, 0.02, 0.08, 0.2], trials=5, seed=3
+    )
+
+
+class TestDensityStudy:
+    def test_point_per_density(self, points):
+        assert [p.density for p in points] == [0.0, 0.02, 0.08, 0.2]
+        assert points[1].f == round(0.02 * 576)
+
+    def test_zero_density_is_clean(self, points):
+        p0 = points[0]
+        assert p0.largest_block.mean == 0.0
+        assert p0.imprisoned_fraction.mean == 0.0
+        assert p0.enabled_components.mean == 1.0
+        assert p0.largest_enabled_fraction.mean == 1.0
+
+    def test_largest_block_grows_with_density(self, points):
+        sizes = [p.largest_block.mean for p in points]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[1]
+
+    def test_imprisoned_fraction_grows(self, points):
+        fracs = [p.imprisoned_fraction.mean for p in points]
+        assert fracs[-1] >= fracs[1] >= fracs[0]
+
+    def test_enabled_subgraph_fragments_at_high_density(self, points):
+        assert points[-1].enabled_components.mean >= points[0].enabled_components.mean
+
+    def test_freed_fraction_high_below_percolation(self, points):
+        # Below the block-percolation transition (~10% density for
+        # Definition 2b) phase 2 frees nearly everything; above it the
+        # mesh fuses into one giant block and freeing collapses.
+        low = [p for p in points if 0 < p.density <= 0.08]
+        for p in low:
+            assert p.freed_fraction.mean > 0.8
+        assert points[-1].freed_fraction.mean <= points[1].freed_fraction.mean
+
+    def test_density_validation(self):
+        with pytest.raises(ValueError):
+            density_study(Mesh2D(8, 8), densities=[1.5], trials=1)
+
+    def test_definition_parameter(self):
+        pts = density_study(
+            Mesh2D(16, 16),
+            densities=[0.05],
+            trials=3,
+            definition=SafetyDefinition.DEF_2A,
+            seed=1,
+        )
+        assert pts[0].f == round(0.05 * 256)

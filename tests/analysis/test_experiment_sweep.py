@@ -1,0 +1,61 @@
+"""Unit tests for trial orchestration and parameter sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import run_trials, sweep, trial_rngs
+
+
+class TestTrialRngs:
+    def test_count(self):
+        assert len(trial_rngs(5, 42)) == 5
+
+    def test_reproducible(self):
+        a = [r.integers(1 << 30) for r in trial_rngs(4, 7)]
+        b = [r.integers(1 << 30) for r in trial_rngs(4, 7)]
+        assert a == b
+
+    def test_independent_streams(self):
+        draws = [r.integers(1 << 30) for r in trial_rngs(8, 7)]
+        assert len(set(draws)) == 8
+
+    def test_prefix_stability(self):
+        # Requesting more trials must not change the earlier streams.
+        a = [r.integers(1 << 30) for r in trial_rngs(3, 9)]
+        b = [r.integers(1 << 30) for r in trial_rngs(6, 9)][:3]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trial_rngs(0, 1)
+
+
+class TestRunTrials:
+    def test_collects_results(self):
+        out = run_trials(lambda rng: float(rng.random()), trials=5, seed=3)
+        assert len(out) == 5 and len(set(out)) == 5
+
+
+class TestSweep:
+    def test_aggregates_per_value(self):
+        points = sweep(
+            [1, 2, 3],
+            lambda v, rng: {"double": 2 * v, "noise": rng.random()},
+            trials=4,
+            seed=0,
+        )
+        assert [p.value for p in points] == [1, 2, 3]
+        assert points[1].metrics["double"].mean == 4.0
+        assert points[0].metrics["noise"].n == 4
+
+    def test_missing_keys_tolerated(self):
+        def fn(v, rng):
+            out = {"always": 1.0}
+            if rng.random() < 0.5:
+                out["sometimes"] = 2.0
+            return out
+
+        points = sweep([0], fn, trials=20, seed=5)
+        m = points[0].metrics
+        assert m["always"].n == 20
+        assert 0 < m["sometimes"].n < 20

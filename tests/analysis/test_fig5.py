@@ -1,0 +1,78 @@
+"""Unit tests for the Figure-5 reproduction driver."""
+
+import math
+
+import pytest
+
+from repro.analysis import run_fig5
+from repro.core import SafetyDefinition
+from repro.mesh import Mesh2D, Torus2D
+
+
+@pytest.fixture(scope="module")
+def small_curve():
+    # A scaled-down sweep keeps the test fast while exercising the
+    # whole pipeline; benchmarks run the paper-sized version.
+    return run_fig5(
+        SafetyDefinition.DEF_2B,
+        topology=Mesh2D(40, 40),
+        f_values=[0, 10, 20, 40],
+        trials=6,
+        seed=99,
+    )
+
+
+class TestFig5Driver:
+    def test_points_per_f_value(self, small_curve):
+        assert [p.f for p in small_curve.points] == [0, 10, 20, 40]
+
+    def test_zero_faults_zero_rounds(self, small_curve):
+        p0 = small_curve.points[0]
+        assert p0.rounds_fb.mean == 0.0
+        assert p0.rounds_dr.mean == 0.0
+        assert p0.num_blocks.mean == 0.0
+        assert math.isnan(p0.enabled_ratio.mean)  # no reducible blocks
+
+    def test_rounds_far_below_diameter(self, small_curve):
+        # The paper's headline: rounds are much lower than the diameter.
+        diameter = 78
+        for p in small_curve.points:
+            assert p.rounds_fb.mean < diameter / 4
+            assert p.rounds_dr.mean < diameter / 4
+
+    def test_enabled_ratio_high_at_low_density(self, small_curve):
+        # "The average percentage ... stays very high, especially when
+        # the number of faults is relatively low."
+        p = small_curve.points[1]  # f=10 on 40x40
+        assert p.enabled_ratio.mean > 0.9 or math.isnan(p.enabled_ratio.mean)
+
+    def test_blocks_grow_with_f(self, small_curve):
+        counts = [p.num_blocks.mean for p in small_curve.points]
+        assert counts == sorted(counts)
+
+    def test_table_rendering(self, small_curve):
+        table = small_curve.as_table()
+        assert "rounds(FB)" in table and "Definition 2b" in table
+        assert str(small_curve.points[-1].f) in table
+
+    def test_reproducible(self):
+        kw = dict(
+            topology=Mesh2D(20, 20), f_values=[8], trials=3, seed=123
+        )
+        a = run_fig5(SafetyDefinition.DEF_2A, **kw)
+        b = run_fig5(SafetyDefinition.DEF_2A, **kw)
+        pa, pb = a.points[0], b.points[0]
+        assert pa.rounds_fb.mean == pb.rounds_fb.mean
+        assert pa.num_blocks.mean == pb.num_blocks.mean
+        ra, rb = pa.enabled_ratio.mean, pb.enabled_ratio.mean
+        assert (math.isnan(ra) and math.isnan(rb)) or ra == rb
+
+    def test_torus_supported(self):
+        curve = run_fig5(
+            SafetyDefinition.DEF_2B,
+            topology=Torus2D(20, 20),
+            f_values=[6],
+            trials=3,
+            seed=5,
+        )
+        assert curve.points[0].num_blocks.mean > 0

@@ -1,0 +1,56 @@
+"""Unit tests for summary statistics and table formatting."""
+
+import math
+
+import pytest
+
+from repro.analysis import Summary, format_table, summarize
+
+
+class TestSummarize:
+    def test_empty(self):
+        s = summarize([])
+        assert s.n == 0 and math.isnan(s.mean)
+
+    def test_single(self):
+        s = summarize([4.0])
+        assert s.n == 1 and s.mean == 4.0 and s.std == 0.0 and s.stderr == 0.0
+
+    def test_mean_and_std(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == 2.5
+        assert s.std == pytest.approx(math.sqrt(5 / 3))
+
+    def test_stderr_shrinks_with_n(self):
+        small = summarize([0.0, 1.0] * 4)
+        large = summarize([0.0, 1.0] * 100)
+        assert large.stderr < small.stderr
+
+    def test_ci_contains_mean(self):
+        s = summarize([1.0, 2.0, 3.0])
+        lo, hi = s.ci95
+        assert lo <= s.mean <= hi
+
+    def test_str_format(self):
+        assert "n=2" in str(summarize([1.0, 2.0]))
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        t = format_table(["a", "bb"], [[1, 2.5], [30, 4.125]])
+        lines = t.splitlines()
+        assert len(lines) == 4
+        assert "2.500" in t and "4.125" in t
+
+    def test_title(self):
+        t = format_table(["x"], [[1]], title="My Table")
+        assert t.splitlines()[0] == "My Table"
+
+    def test_column_count_validation(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_alignment_consistent(self):
+        t = format_table(["col"], [[1], [100]])
+        lines = t.splitlines()
+        assert len(lines[-1]) == len(lines[-2])

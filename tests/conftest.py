@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mesh import Mesh2D, Torus2D
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic per-test generator."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def mesh8() -> Mesh2D:
+    return Mesh2D(8, 8)
+
+
+@pytest.fixture
+def mesh12() -> Mesh2D:
+    return Mesh2D(12, 12)
+
+
+@pytest.fixture
+def torus8() -> Torus2D:
+    return Torus2D(8, 8)
+
+
+@pytest.fixture(params=["mesh", "torus"])
+def any_topology(request):
+    """Parametrised over both topologies at 10x10."""
+    return Mesh2D(10, 10) if request.param == "mesh" else Torus2D(10, 10)

@@ -1,0 +1,194 @@
+"""Unit tests for phase-2 enabled/disabled labeling (Definition 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SafetyDefinition,
+    enabled_fixpoint,
+    enabled_step,
+    unsafe_fixpoint,
+)
+from repro.errors import ConvergenceError
+from repro.faults import FaultSet
+from repro.mesh import Mesh2D, Torus2D
+
+
+def run_both_phases(topo, coords, definition=SafetyDefinition.DEF_2B):
+    f = FaultSet.from_coords(topo.shape, coords).mask
+    unsafe, _ = unsafe_fixpoint(topo, f, definition)
+    enabled, rounds = enabled_fixpoint(topo, f, unsafe)
+    return f, unsafe, enabled, rounds
+
+
+class TestBasics:
+    def test_fault_free_everything_enabled(self):
+        m = Mesh2D(5, 5)
+        f, unsafe, enabled, rounds = run_both_phases(m, [])
+        assert enabled.all() and rounds == 0
+
+    def test_faulty_never_enabled(self):
+        m = Mesh2D(6, 6)
+        f, _, enabled, _ = run_both_phases(m, [(1, 1), (2, 2), (4, 4)])
+        assert not (enabled & f).any()
+
+    def test_safe_nodes_start_and_stay_enabled(self):
+        m = Mesh2D(6, 6)
+        f, unsafe, enabled, _ = run_both_phases(m, [(2, 2), (3, 3)])
+        assert (enabled | unsafe).all()
+
+    def test_invalid_phase1_labels_rejected(self):
+        m = Mesh2D(4, 4)
+        f = FaultSet.from_coords((4, 4), [(1, 1)]).mask
+        bad_unsafe = np.zeros((4, 4), dtype=bool)  # fault not unsafe
+        with pytest.raises(ConvergenceError):
+            enabled_fixpoint(m, f, bad_unsafe)
+
+    def test_shape_mismatch_rejected(self):
+        m = Mesh2D(4, 4)
+        with pytest.raises(ConvergenceError):
+            enabled_fixpoint(
+                m, np.zeros((4, 4), dtype=bool), np.zeros((3, 3), dtype=bool)
+            )
+
+
+class TestPaperExample:
+    def test_all_nonfaulty_nodes_enabled(self):
+        # Section 3: with faults (1,3), (2,1), (3,2) "all the nonfaulty
+        # nodes in the faulty block are enabled".
+        m = Mesh2D(6, 6)
+        f, unsafe, enabled, _ = run_both_phases(m, [(1, 3), (2, 1), (3, 2)])
+        nonfaulty_unsafe = unsafe & ~f
+        assert (enabled & nonfaulty_unsafe).sum() == nonfaulty_unsafe.sum()
+
+
+class TestFigure2Scenarios:
+    """The two block layouts of Figure 2 (well-definedness discussion)."""
+
+    @staticmethod
+    def _block_with_gap(gap_x):
+        # A 4x3 all-faulty rectangle at (1,1)..(4,3) whose top row has a
+        # 2-wide nonfaulty gap starting at x=gap_x.
+        coords = [
+            (x, y)
+            for x in range(1, 5)
+            for y in range(1, 4)
+            if not (y == 3 and gap_x <= x < gap_x + 2)
+        ]
+        return coords
+
+    def test_corner_gap_is_enabled(self):
+        # Figure 2(a): the nonfaulty sub-block sits at the upper RIGHT
+        # corner -> its corner node has two enabled neighbours outside
+        # the block, so the whole gap cascades to enabled.
+        m = Mesh2D(7, 6)
+        coords = self._block_with_gap(gap_x=3)
+        f, unsafe, enabled, _ = run_both_phases(m, coords)
+        assert enabled[3, 3] and enabled[4, 3]
+
+    def test_center_gap_stays_disabled(self):
+        # Figure 2(b): the gap sits at the upper CENTER -> each gap node
+        # has at most one enabled neighbour (above); Definition 3 keeps
+        # the whole gap disabled (no double status).
+        m = Mesh2D(7, 6)
+        coords = self._block_with_gap(gap_x=2)
+        f, unsafe, enabled, _ = run_both_phases(m, coords)
+        assert not enabled[2, 3] and not enabled[3, 3]
+
+
+class TestMonotonicity:
+    def test_step_never_disables(self):
+        m = Mesh2D(8, 8)
+        coords = [(2, 2), (3, 3), (4, 2), (2, 4), (4, 4)]
+        f = FaultSet.from_coords((8, 8), coords).mask
+        unsafe, _ = unsafe_fixpoint(m, f, SafetyDefinition.DEF_2B)
+        enabled = ~unsafe
+        for _ in range(6):
+            nxt = enabled_step(m, f, enabled)
+            assert not (enabled & ~nxt).any()
+            enabled = nxt
+
+    def test_fixpoint_stable(self):
+        m = Mesh2D(8, 8)
+        f, unsafe, enabled, _ = run_both_phases(
+            m, [(2, 2), (3, 3), (4, 2), (2, 4)]
+        )
+        assert np.array_equal(enabled_step(m, f, enabled), enabled)
+
+    def test_budget_exhaustion_raises(self):
+        # The paper example takes 3 enable rounds; a budget of 1 must fail.
+        m = Mesh2D(6, 6)
+        f = FaultSet.from_coords((6, 6), [(1, 3), (2, 1), (3, 2)]).mask
+        unsafe, _ = unsafe_fixpoint(m, f, SafetyDefinition.DEF_2B)
+        with pytest.raises(ConvergenceError):
+            enabled_fixpoint(m, f, unsafe, max_rounds=1)
+
+
+class TestGhostAndTorus:
+    def test_boundary_unsafe_node_enables_via_ghosts(self):
+        # A nonfaulty unsafe node on the mesh corner has two ghost
+        # neighbours, which count as enabled.
+        m = Mesh2D(5, 5)
+        f, unsafe, enabled, _ = run_both_phases(m, [(0, 1), (1, 0)])
+        assert unsafe[0, 0]
+        assert enabled[0, 0]
+
+    def test_same_pattern_on_torus_still_enables(self):
+        t = Torus2D(5, 5)
+        f, unsafe, enabled, _ = run_both_phases(t, [(0, 1), (1, 0)])
+        assert unsafe[0, 0]
+        # On the torus, (0,0)'s other neighbours (4,0) and (0,4) are safe
+        # and enabled, so it enables too.
+        assert enabled[0, 0]
+
+
+class TestRecursiveRulePathology:
+    def test_double_status_instance_has_two_solutions(self):
+        # Figure 2(b) analogue: center gap admits both all-enabled and
+        # all-disabled assignments under the naive recursive rule.
+        from repro.core import recursive_enable_fixpoints
+
+        m = Mesh2D(7, 6)
+        coords = TestFigure2Scenarios._block_with_gap(gap_x=2)
+        f = FaultSet.from_coords((7, 6), coords).mask
+        unsafe, _ = unsafe_fixpoint(m, f, SafetyDefinition.DEF_2B)
+        sols = recursive_enable_fixpoints(m, f, unsafe)
+        assert len(sols) >= 2
+        gap = [(2, 3), (3, 3)]
+        assert any(all(s[c] for c in gap) for s in sols)
+        assert any(not any(s[c] for c in gap) for s in sols)
+
+    def test_corner_instance_has_unique_solution(self):
+        # Figure 2(a) analogue: the corner gap cascades deterministically.
+        from repro.core import recursive_enable_fixpoints
+
+        m = Mesh2D(7, 6)
+        coords = TestFigure2Scenarios._block_with_gap(gap_x=3)
+        f = FaultSet.from_coords((7, 6), coords).mask
+        unsafe, _ = unsafe_fixpoint(m, f, SafetyDefinition.DEF_2B)
+        sols = recursive_enable_fixpoints(m, f, unsafe)
+        assert len(sols) == 1
+
+    def test_definition3_is_least_fixpoint(self):
+        # Definition 3's outcome appears among the recursive solutions
+        # and is the smallest one.
+        from repro.core import recursive_enable_fixpoints
+
+        m = Mesh2D(7, 6)
+        coords = TestFigure2Scenarios._block_with_gap(gap_x=2)
+        f = FaultSet.from_coords((7, 6), coords).mask
+        unsafe, _ = unsafe_fixpoint(m, f, SafetyDefinition.DEF_2B)
+        enabled, _ = enabled_fixpoint(m, f, unsafe)
+        sols = recursive_enable_fixpoints(m, f, unsafe)
+        assert any(np.array_equal(s, enabled) for s in sols)
+        assert all(s.sum() >= enabled.sum() for s in sols)
+
+    def test_enumeration_limit(self):
+        from repro.core import recursive_enable_fixpoints
+
+        m = Mesh2D(10, 10)
+        coords = [(x, y) for x in range(1, 9) for y in range(1, 9)][:40]
+        f = FaultSet.from_coords((10, 10), []).mask
+        unsafe = FaultSet.from_coords((10, 10), coords).mask
+        with pytest.raises(ConvergenceError):
+            recursive_enable_fixpoints(m, f, unsafe, limit=10)

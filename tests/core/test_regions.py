@@ -1,0 +1,97 @@
+"""Unit tests for disabled-region extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SafetyDefinition,
+    enabled_fixpoint,
+    extract_regions,
+    unsafe_fixpoint,
+)
+from repro.errors import GeometryError
+from repro.faults import FaultSet
+from repro.mesh import Mesh2D
+
+
+def regions_for(coords, shape=(10, 10)):
+    m = Mesh2D(*shape)
+    f = FaultSet.from_coords(shape, coords).mask
+    unsafe, _ = unsafe_fixpoint(m, f, SafetyDefinition.DEF_2B)
+    enabled, _ = enabled_fixpoint(m, f, unsafe)
+    return extract_regions(unsafe & ~enabled, f)
+
+
+class TestExtraction:
+    def test_paper_example_two_regions(self):
+        # Section 3: the block splits into {(1,3)} and {(2,1),(3,2)}.
+        regions = regions_for([(1, 3), (2, 1), (3, 2)], shape=(6, 6))
+        sets = sorted(sorted(r.cells.coords()) for r in regions)
+        assert sets == [[(1, 3)], [(2, 1), (3, 2)]]
+
+    def test_diagonal_faults_are_one_region(self):
+        # 8-connectivity groups corner-touching disabled nodes.
+        regions = regions_for([(2, 2), (3, 3)], shape=(8, 8))
+        assert len(regions) == 1
+        assert regions[0].num_faults == 2
+        assert regions[0].num_nonfaulty == 0
+
+    def test_isolated_fault_region(self):
+        regions = regions_for([(5, 5)])
+        assert len(regions) == 1
+        assert regions[0].diameter == 0
+
+    def test_no_faults_no_regions(self):
+        assert regions_for([]) == []
+
+    def test_region_contains_its_faults(self):
+        regions = regions_for([(1, 1), (2, 2), (6, 6), (7, 7)])
+        for r in regions:
+            assert r.faults <= r.cells
+
+
+class TestValidation:
+    def test_fault_not_disabled_rejected(self):
+        f = np.zeros((5, 5), dtype=bool)
+        f[2, 2] = True
+        with pytest.raises(GeometryError):
+            extract_regions(np.zeros((5, 5), dtype=bool), f)
+
+    def test_faultless_region_rejected(self):
+        disabled = np.zeros((5, 5), dtype=bool)
+        disabled[0, 0] = True  # a disabled node with no fault anywhere
+        with pytest.raises(GeometryError):
+            extract_regions(disabled, np.zeros((5, 5), dtype=bool))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GeometryError):
+            extract_regions(
+                np.zeros((5, 5), dtype=bool), np.zeros((4, 4), dtype=bool)
+            )
+
+
+class TestRegionsRefineBlocks:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_regions_within_blocks_and_no_larger(self, seed):
+        from repro.core import extract_blocks
+        from repro.faults import uniform_random
+
+        rng = np.random.default_rng(seed + 100)
+        m = Mesh2D(16, 16)
+        f = uniform_random((16, 16), 25, rng).mask
+        unsafe, _ = unsafe_fixpoint(m, f, SafetyDefinition.DEF_2B)
+        enabled, _ = enabled_fixpoint(m, f, unsafe)
+        disabled = unsafe & ~enabled
+        blocks = extract_blocks(unsafe, f)
+        regions = extract_regions(disabled, f)
+        # Every region lives inside exactly one block.
+        for r in regions:
+            containing = [
+                b for b in blocks if (r.cells.mask & b.cells.mask).any()
+            ]
+            assert len(containing) == 1
+            assert r.cells <= containing[0].cells
+        # Regions never hold more nonfaulty nodes than their blocks.
+        assert sum(r.num_nonfaulty for r in regions) <= sum(
+            b.num_nonfaulty for b in blocks
+        )

@@ -1,0 +1,149 @@
+"""Unit tests for phase-1 safe/unsafe labeling (Definitions 2a/2b)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SafetyDefinition, unsafe_fixpoint, unsafe_step
+from repro.errors import ConvergenceError
+from repro.faults import FaultSet
+from repro.mesh import Mesh2D, Torus2D
+
+DEF_2A = SafetyDefinition.DEF_2A
+DEF_2B = SafetyDefinition.DEF_2B
+
+
+def faults(shape, coords):
+    return FaultSet.from_coords(shape, coords).mask
+
+
+class TestBasics:
+    def test_no_faults_no_unsafe(self):
+        m = Mesh2D(6, 6)
+        unsafe, rounds = unsafe_fixpoint(m, faults((6, 6), []), DEF_2B)
+        assert not unsafe.any() and rounds == 0
+
+    def test_isolated_fault_stays_singleton(self):
+        m = Mesh2D(6, 6)
+        unsafe, rounds = unsafe_fixpoint(m, faults((6, 6), [(3, 3)]), DEF_2B)
+        assert unsafe.sum() == 1 and unsafe[3, 3]
+        assert rounds == 0
+
+    def test_faulty_always_unsafe(self):
+        m = Mesh2D(6, 6)
+        f = faults((6, 6), [(0, 0), (5, 5), (2, 3)])
+        unsafe, _ = unsafe_fixpoint(m, f, DEF_2A)
+        assert (unsafe & f).sum() == f.sum()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConvergenceError):
+            unsafe_fixpoint(Mesh2D(5, 5), np.zeros((4, 4), dtype=bool))
+
+
+class TestDefinitionDifference:
+    def test_two_unsafe_neighbors_same_dimension(self):
+        # Node (1, 0) between faults (0, 0) and (2, 0): unsafe under 2a
+        # (two unsafe neighbours), safe under 2b (same dimension only).
+        m = Mesh2D(6, 6)
+        f = faults((6, 6), [(0, 0), (2, 0)])
+        unsafe_a, _ = unsafe_fixpoint(m, f, DEF_2A)
+        unsafe_b, _ = unsafe_fixpoint(m, f, DEF_2B)
+        assert unsafe_a[1, 0]
+        assert not unsafe_b[1, 0]
+
+    def test_2b_subset_of_2a(self):
+        # Enhanced rule imprisons no more nodes than the classic rule.
+        m = Mesh2D(20, 20)
+        rng = np.random.default_rng(9)
+        from repro.faults import uniform_random
+
+        for _ in range(10):
+            f = uniform_random((20, 20), 25, rng).mask
+            ua, _ = unsafe_fixpoint(m, f, DEF_2A)
+            ub, _ = unsafe_fixpoint(m, f, DEF_2B)
+            assert not (ub & ~ua).any()
+
+    def test_diagonal_faults_form_square_under_both(self):
+        # Paper: faults (u) and (u+1, u+1) fall in a single region.
+        m = Mesh2D(6, 6)
+        f = faults((6, 6), [(2, 2), (3, 3)])
+        for d in (DEF_2A, DEF_2B):
+            unsafe, _ = unsafe_fixpoint(m, f, d)
+            expected = {(2, 2), (3, 3), (2, 3), (3, 2)}
+            assert {tuple(c) for c in np.argwhere(unsafe)} == expected
+
+
+class TestPaperExample:
+    def test_three_faults_make_3x3_block(self):
+        # Section 3: faults (1,3), (2,1), (3,2) yield the faulty block
+        # {(i,j) | i,j in {1,2,3}} under the safe/unsafe rule.
+        m = Mesh2D(6, 6)
+        f = faults((6, 6), [(1, 3), (2, 1), (3, 2)])
+        unsafe, _ = unsafe_fixpoint(m, f, DEF_2B)
+        expected = {(i, j) for i in (1, 2, 3) for j in (1, 2, 3)}
+        assert {tuple(c) for c in np.argwhere(unsafe)} == expected
+
+
+class TestGhostBoundary:
+    def test_corner_fault_does_not_recruit_under_2b(self):
+        # (0,0) faulty: its neighbours each see one unsafe neighbour in
+        # one dimension and a safe ghost in the other.
+        m = Mesh2D(5, 5)
+        unsafe, _ = unsafe_fixpoint(m, faults((5, 5), [(0, 0)]), DEF_2B)
+        assert unsafe.sum() == 1
+
+    def test_boundary_pair_recruits_inward(self):
+        # Faults (0,0) and (1,1): (0,1) and (1,0) have unsafe neighbours
+        # in both dimensions regardless of the boundary.
+        m = Mesh2D(5, 5)
+        unsafe, _ = unsafe_fixpoint(m, faults((5, 5), [(0, 0), (1, 1)]), DEF_2B)
+        assert unsafe.sum() == 4
+
+    def test_torus_wraps_unsafe_spread(self):
+        # On a torus, faults at opposite edges are neighbours.
+        t = Torus2D(6, 6)
+        f = faults((6, 6), [(0, 0), (5, 5)])  # wrap-diagonal pair
+        unsafe, _ = unsafe_fixpoint(t, f, DEF_2B)
+        # (0,5) has x-neighbour (5,5) and y-neighbour (0,0) via wraps.
+        assert unsafe[0, 5] and unsafe[5, 0]
+        assert unsafe.sum() == 4
+
+    def test_mesh_does_not_wrap(self):
+        m = Mesh2D(6, 6)
+        f = faults((6, 6), [(0, 0), (5, 5)])
+        unsafe, _ = unsafe_fixpoint(m, f, DEF_2B)
+        assert unsafe.sum() == 2
+
+
+class TestFixpointProperties:
+    def test_step_is_monotone(self):
+        m = Mesh2D(8, 8)
+        f = faults((8, 8), [(2, 2), (3, 3), (4, 2)])
+        unsafe = f.copy()
+        for _ in range(5):
+            nxt = unsafe_step(m, f, unsafe, DEF_2B)
+            assert (nxt | unsafe).sum() == nxt.sum()  # never un-labels
+            unsafe = nxt
+
+    def test_fixpoint_is_stable(self):
+        m = Mesh2D(8, 8)
+        f = faults((8, 8), [(2, 2), (3, 3), (4, 2), (2, 4)])
+        unsafe, _ = unsafe_fixpoint(m, f, DEF_2A)
+        again = unsafe_step(m, f, unsafe, DEF_2A)
+        assert np.array_equal(again, unsafe)
+
+    def test_rounds_bounded_by_block_diameter(self):
+        # The paper: phase 1 needs at most max d(B) rounds.
+        m = Mesh2D(12, 12)
+        f = faults((12, 12), [(2, 2), (3, 3), (4, 4), (5, 5), (6, 6)])
+        unsafe, rounds = unsafe_fixpoint(m, f, DEF_2B)
+        from repro.core import extract_blocks
+
+        blocks = extract_blocks(unsafe, f)
+        max_diam = max(b.diameter for b in blocks)
+        assert rounds <= max_diam
+
+    def test_budget_exhaustion_raises(self):
+        m = Mesh2D(12, 12)
+        f = faults((12, 12), [(2, 2), (3, 3), (4, 4), (5, 5)])
+        with pytest.raises(ConvergenceError):
+            unsafe_fixpoint(m, f, DEF_2B, max_rounds=1)

@@ -1,0 +1,107 @@
+"""Unit tests for status enums and LabelGrid."""
+
+import numpy as np
+import pytest
+
+from repro.core import LabelGrid, NodeStatus, SafetyDefinition
+from repro.errors import GeometryError
+
+
+def _grids(shape=(4, 4)):
+    faulty = np.zeros(shape, dtype=bool)
+    unsafe = np.zeros(shape, dtype=bool)
+    enabled = np.ones(shape, dtype=bool)
+    return faulty, unsafe, enabled
+
+
+class TestSafetyDefinition:
+    def test_separation_guarantees(self):
+        # Paper: distance between blocks >= 3 under 2a, >= 2 under 2b.
+        assert SafetyDefinition.DEF_2A.min_block_separation == 3
+        assert SafetyDefinition.DEF_2B.min_block_separation == 2
+
+    def test_values(self):
+        assert SafetyDefinition("2a") is SafetyDefinition.DEF_2A
+
+
+class TestNodeStatus:
+    def test_routing_participation(self):
+        # Paper: "only enabled nodes will participate in routing".
+        assert NodeStatus.SAFE_ENABLED.participates_in_routing
+        assert NodeStatus.UNSAFE_ENABLED.participates_in_routing
+        assert not NodeStatus.FAULTY.participates_in_routing
+        assert not NodeStatus.UNSAFE_DISABLED.participates_in_routing
+
+
+class TestLabelGridInvariants:
+    def test_valid_construction(self):
+        faulty, unsafe, enabled = _grids()
+        lg = LabelGrid(faulty, unsafe, enabled)
+        assert lg.shape == (4, 4)
+
+    def test_faulty_must_be_unsafe(self):
+        faulty, unsafe, enabled = _grids()
+        faulty[1, 1] = True
+        enabled[1, 1] = False
+        with pytest.raises(GeometryError):
+            LabelGrid(faulty, unsafe, enabled)
+
+    def test_faulty_must_not_be_enabled(self):
+        faulty, unsafe, enabled = _grids()
+        faulty[1, 1] = True
+        unsafe[1, 1] = True
+        with pytest.raises(GeometryError):
+            LabelGrid(faulty, unsafe, enabled)
+
+    def test_safe_must_be_enabled(self):
+        faulty, unsafe, enabled = _grids()
+        enabled[2, 2] = False  # safe (not unsafe) but disabled: invalid
+        with pytest.raises(GeometryError):
+            LabelGrid(faulty, unsafe, enabled)
+
+    def test_shape_mismatch(self):
+        faulty, unsafe, _ = _grids()
+        with pytest.raises(GeometryError):
+            LabelGrid(faulty, unsafe, np.ones((3, 3), dtype=bool))
+
+
+class TestLabelGridDerived:
+    def _example(self):
+        # One fault at (1,1); (1,2) unsafe-disabled; (2,1) unsafe-enabled.
+        faulty, unsafe, enabled = _grids()
+        faulty[1, 1] = True
+        unsafe[1, 1] = unsafe[1, 2] = unsafe[2, 1] = True
+        enabled[1, 1] = enabled[1, 2] = False
+        return LabelGrid(faulty, unsafe, enabled)
+
+    def test_disabled_plane(self):
+        lg = self._example()
+        assert lg.disabled[1, 1] and lg.disabled[1, 2]
+        assert not lg.disabled[2, 1]
+
+    def test_activated_plane(self):
+        lg = self._example()
+        assert lg.activated[2, 1]
+        assert not lg.activated[1, 1]
+        assert int(lg.activated.sum()) == 1
+
+    def test_status_of_each_case(self):
+        lg = self._example()
+        assert lg.status_of((1, 1)) is NodeStatus.FAULTY
+        assert lg.status_of((1, 2)) is NodeStatus.UNSAFE_DISABLED
+        assert lg.status_of((2, 1)) is NodeStatus.UNSAFE_ENABLED
+        assert lg.status_of((0, 0)) is NodeStatus.SAFE_ENABLED
+
+    def test_counts(self):
+        lg = self._example()
+        counts = lg.counts()
+        assert counts["faulty"] == 1
+        assert counts["unsafe_nonfaulty"] == 2
+        assert counts["activated"] == 1
+        assert counts["disabled_nonfaulty"] == 1
+        assert counts["safe"] == 16 - 1 - 2  # total - faulty - unsafe_nonfaulty
+
+    def test_cells_views(self):
+        lg = self._example()
+        assert len(lg.disabled_cells()) == 2
+        assert len(lg.unsafe_cells()) == 3

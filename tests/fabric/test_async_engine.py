@@ -1,0 +1,110 @@
+"""Unit tests for the asynchronous engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import SafetyDefinition, unsafe_fixpoint
+from repro.core.distributed import async_enabled, async_unsafe
+from repro.errors import ProtocolError
+from repro.fabric import AsynchronousEngine
+from repro.fabric.program import NodeProgram
+from repro.faults import FaultSet
+from repro.mesh import Mesh2D
+
+
+class Silent(NodeProgram):
+    def start(self):
+        return {}
+
+    def on_round(self, inbox):
+        return {}, False
+
+    def snapshot(self):
+        return "idle"
+
+
+class Chatterbox(NodeProgram):
+    """Keeps re-sending forever: must trip the event budget."""
+
+    def start(self):
+        return {n: 0 for n in self.ctx.live_neighbors}
+
+    def on_round(self, inbox):
+        return {n: 0 for n in self.ctx.live_neighbors}, False
+
+    def snapshot(self):
+        return None
+
+
+class TestAsyncEngineBasics:
+    def test_silent_network_terminates(self):
+        eng = AsynchronousEngine(
+            Mesh2D(3, 3), frozenset(), Silent, np.random.default_rng(0)
+        )
+        res = eng.run()
+        assert res.stats.rounds == 0
+        assert len(res.snapshots) == 9
+
+    def test_invalid_max_delay(self):
+        with pytest.raises(ProtocolError):
+            AsynchronousEngine(
+                Mesh2D(3, 3), frozenset(), Silent, np.random.default_rng(0), max_delay=0
+            )
+
+    def test_event_budget_enforced(self):
+        eng = AsynchronousEngine(
+            Mesh2D(3, 3),
+            frozenset(),
+            Chatterbox,
+            np.random.default_rng(0),
+            max_events=50,
+        )
+        with pytest.raises(ProtocolError):
+            eng.run()
+
+    def test_deterministic_given_seed(self):
+        m = Mesh2D(8, 8)
+        faults = FaultSet.from_coords((8, 8), [(2, 2), (3, 3), (4, 4)])
+        a, stats_a = async_unsafe(m, faults, np.random.default_rng(5))
+        b, stats_b = async_unsafe(m, faults, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+        assert stats_a.rounds == stats_b.rounds
+
+
+class TestAsyncDrivers:
+    def test_paper_example_same_labels_as_sync(self):
+        m = Mesh2D(6, 6)
+        faults = FaultSet.from_coords((6, 6), [(1, 3), (2, 1), (3, 2)])
+        expected, _ = unsafe_fixpoint(m, faults.mask, SafetyDefinition.DEF_2B)
+        got, _ = async_unsafe(m, faults, np.random.default_rng(0))
+        assert np.array_equal(got, expected)
+
+    def test_phase2_ghost_only_enable(self):
+        # A corner node enabled purely by its two ghost links: the case
+        # that requires the engine's initial local wake-up step.
+        m = Mesh2D(5, 5)
+        faults = FaultSet.from_coords((5, 5), [(0, 1), (1, 0)])
+        unsafe, _ = unsafe_fixpoint(m, faults.mask)
+        assert unsafe[0, 0]
+        enabled, _ = async_enabled(m, faults, unsafe, np.random.default_rng(3))
+        assert enabled[0, 0]
+
+    def test_shape_validation(self):
+        m = Mesh2D(5, 5)
+        with pytest.raises(ValueError):
+            async_enabled(
+                m,
+                FaultSet.none((5, 5)),
+                np.zeros((4, 4), dtype=bool),
+                np.random.default_rng(0),
+            )
+
+    def test_large_delays_still_converge(self):
+        m = Mesh2D(10, 10)
+        faults = FaultSet.from_coords(
+            (10, 10), [(2, 2), (3, 3), (4, 4), (5, 5), (6, 6)]
+        )
+        expected, _ = unsafe_fixpoint(m, faults.mask)
+        got, stats = async_unsafe(m, faults, np.random.default_rng(9), max_delay=20)
+        assert np.array_equal(got, expected)
+        assert stats.total_messages > 0

@@ -1,0 +1,26 @@
+"""Unit tests for the Message envelope."""
+
+from repro.fabric import Message
+
+
+class TestMessage:
+    def test_fields(self):
+        m = Message(sender=(0, 0), recipient=(0, 1), round_no=3, payload="x")
+        assert m.sender == (0, 0)
+        assert m.recipient == (0, 1)
+        assert m.round_no == 3
+        assert m.payload == "x"
+
+    def test_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        m = Message((0, 0), (0, 1), 0, None)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            m.payload = "y"
+
+    def test_equality(self):
+        a = Message((0, 0), (0, 1), 1, 42)
+        b = Message((0, 0), (0, 1), 1, 42)
+        assert a == b

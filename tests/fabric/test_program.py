@@ -1,0 +1,59 @@
+"""Unit tests for NodeContext."""
+
+from repro.fabric import NodeContext
+from repro.mesh import Dimension, Mesh2D, Torus2D
+
+
+class TestNodeContextMesh:
+    def test_interior_node_all_live(self):
+        ctx = NodeContext(Mesh2D(5, 5), (2, 2), frozenset())
+        assert len(ctx.live_neighbors) == 4
+        assert ctx.faulty_neighbors == ()
+        assert ctx.missing_in_dim(Dimension.X) == 0
+        assert ctx.missing_in_dim(Dimension.Y) == 0
+
+    def test_corner_node_missing_links(self):
+        ctx = NodeContext(Mesh2D(5, 5), (0, 0), frozenset())
+        assert len(ctx.live_neighbors) == 2
+        assert ctx.missing_in_dim(Dimension.X) == 1
+        assert ctx.missing_in_dim(Dimension.Y) == 1
+
+    def test_edge_node_missing_one_link(self):
+        ctx = NodeContext(Mesh2D(5, 5), (0, 2), frozenset())
+        assert ctx.missing_in_dim(Dimension.X) == 1
+        assert ctx.missing_in_dim(Dimension.Y) == 0
+
+    def test_faulty_neighbors_separated(self):
+        ctx = NodeContext(Mesh2D(5, 5), (2, 2), frozenset({(1, 2), (2, 3)}))
+        assert set(ctx.faulty_neighbors) == {(1, 2), (2, 3)}
+        assert set(ctx.live_neighbors) == {(3, 2), (2, 1)}
+
+    def test_faulty_in_dim(self):
+        ctx = NodeContext(Mesh2D(5, 5), (2, 2), frozenset({(1, 2), (3, 2)}))
+        assert ctx.faulty_in_dim(Dimension.X) == 2
+        assert ctx.faulty_in_dim(Dimension.Y) == 0
+
+    def test_live_neighbors_in_dim(self):
+        ctx = NodeContext(Mesh2D(5, 5), (2, 2), frozenset({(1, 2)}))
+        assert ctx.live_neighbors_in_dim(Dimension.X) == ((3, 2),)
+        assert set(ctx.live_neighbors_in_dim(Dimension.Y)) == {(2, 3), (2, 1)}
+
+    def test_distant_faults_are_invisible(self):
+        # "Each nonfaulty node knows the status of its neighbors only."
+        ctx = NodeContext(Mesh2D(5, 5), (0, 0), frozenset({(4, 4)}))
+        assert ctx.faulty_neighbors == ()
+
+
+class TestNodeContextTorus:
+    def test_no_missing_links_on_torus(self):
+        t = Torus2D(4, 4)
+        for c in [(0, 0), (3, 3), (0, 2)]:
+            ctx = NodeContext(t, c, frozenset())
+            assert len(ctx.live_neighbors) == 4
+            assert ctx.missing_in_dim(Dimension.X) == 0
+            assert ctx.missing_in_dim(Dimension.Y) == 0
+
+    def test_wrap_neighbor_fault_detected(self):
+        ctx = NodeContext(Torus2D(4, 4), (0, 0), frozenset({(3, 0)}))
+        assert (3, 0) in ctx.faulty_neighbors
+        assert ctx.faulty_in_dim(Dimension.X) == 1

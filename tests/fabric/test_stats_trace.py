@@ -1,0 +1,43 @@
+"""Unit tests for RunStats and RoundTrace."""
+
+from repro.fabric import RoundTrace, RunStats
+
+
+class TestRunStats:
+    def test_defaults(self):
+        s = RunStats()
+        assert s.rounds == 0
+        assert s.total_messages == 0
+        assert s.executed_rounds == 0
+
+    def test_totals(self):
+        s = RunStats(
+            rounds=2,
+            messages_per_round=[10, 4, 0],
+            changes_per_round=[3, 1, 0],
+        )
+        assert s.total_messages == 14
+        assert s.executed_rounds == 3
+
+
+class TestRoundTrace:
+    def test_record_and_access(self):
+        t = RoundTrace()
+        t.record(0, {(0, 0): "a"})
+        t.record(1, {(0, 0): "b"})
+        assert len(t) == 2
+        assert t[1] == (1, {(0, 0): "b"})
+
+    def test_snapshots_are_copied(self):
+        t = RoundTrace()
+        snap = {(0, 0): 1}
+        t.record(0, snap)
+        snap[(0, 0)] = 2
+        assert t[0][1][(0, 0)] == 1
+
+    def test_frames_returns_copy_of_list(self):
+        t = RoundTrace()
+        t.record(0, {})
+        frames = t.frames()
+        frames.append((9, {}))
+        assert len(t) == 1

@@ -1,0 +1,57 @@
+"""Unit tests for FaultSet."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultModelError
+from repro.faults import FaultSet
+
+
+class TestConstruction:
+    def test_from_coords(self):
+        f = FaultSet.from_coords((5, 5), [(1, 1), (3, 2)])
+        assert len(f) == 2 and (1, 1) in f
+
+    def test_duplicates_merge(self):
+        f = FaultSet.from_coords((5, 5), [(1, 1), (1, 1)])
+        assert len(f) == 1
+
+    def test_out_of_range_raises_fault_error(self):
+        with pytest.raises(FaultModelError):
+            FaultSet.from_coords((5, 5), [(5, 0)])
+
+    def test_from_mask(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[2, 3] = True
+        f = FaultSet.from_mask(mask)
+        assert f.coords() if hasattr(f, "coords") else list(f) == [(2, 3)]
+
+    def test_none_is_empty(self):
+        f = FaultSet.none((4, 4))
+        assert len(f) == 0 and not f
+
+
+class TestAccessors:
+    def test_shape_and_fraction(self):
+        f = FaultSet.from_coords((10, 10), [(0, 0), (1, 1)])
+        assert f.shape == (10, 10)
+        assert f.fraction() == pytest.approx(0.02)
+
+    def test_iteration(self):
+        coords = [(0, 0), (2, 1)]
+        f = FaultSet.from_coords((4, 4), coords)
+        assert sorted(f) == coords
+
+    def test_equality_and_hash(self):
+        a = FaultSet.from_coords((4, 4), [(1, 1)])
+        b = FaultSet.from_coords((4, 4), [(1, 1)])
+        assert a == b and hash(a) == hash(b)
+        assert a != FaultSet.from_coords((4, 4), [(2, 2)])
+
+    def test_union(self):
+        a = FaultSet.from_coords((4, 4), [(0, 0)])
+        b = FaultSet.from_coords((4, 4), [(1, 1)])
+        assert len(a.union(b)) == 2
+
+    def test_repr_mentions_count(self):
+        assert "count=1" in repr(FaultSet.from_coords((4, 4), [(0, 0)]))

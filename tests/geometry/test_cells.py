@@ -1,0 +1,105 @@
+"""Unit tests for CellSet."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import CellSet
+
+
+class TestConstruction:
+    def test_from_coords(self):
+        s = CellSet.from_coords((4, 4), [(0, 0), (1, 2)])
+        assert len(s) == 2
+        assert (0, 0) in s and (1, 2) in s and (2, 2) not in s
+
+    def test_from_coords_out_of_range(self):
+        with pytest.raises(GeometryError):
+            CellSet.from_coords((4, 4), [(4, 0)])
+
+    def test_empty_and_full(self):
+        assert len(CellSet.empty((3, 3))) == 0
+        assert len(CellSet.full((3, 3))) == 9
+        assert not CellSet.empty((3, 3))
+        assert CellSet.full((3, 3))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(GeometryError):
+            CellSet(np.zeros(5, dtype=bool))
+
+    def test_mask_is_readonly(self):
+        s = CellSet.from_coords((3, 3), [(1, 1)])
+        with pytest.raises(ValueError):
+            s.mask[0, 0] = True
+
+    def test_mask_copied_on_construction(self):
+        src = np.zeros((3, 3), dtype=bool)
+        s = CellSet(src)
+        src[1, 1] = True
+        assert (1, 1) not in s
+
+
+class TestSetAlgebra:
+    def setup_method(self):
+        self.a = CellSet.from_coords((4, 4), [(0, 0), (1, 1)])
+        self.b = CellSet.from_coords((4, 4), [(1, 1), (2, 2)])
+
+    def test_union(self):
+        assert len(self.a | self.b) == 3
+
+    def test_intersection(self):
+        assert (self.a & self.b).coords() == [(1, 1)]
+
+    def test_difference(self):
+        assert (self.a - self.b).coords() == [(0, 0)]
+
+    def test_subset(self):
+        assert (self.a & self.b) <= self.a
+        assert not self.a <= self.b
+
+    def test_disjoint(self):
+        c = CellSet.from_coords((4, 4), [(3, 3)])
+        assert self.a.isdisjoint(c)
+        assert not self.a.isdisjoint(self.b)
+
+    def test_mismatched_grids_rejected(self):
+        other = CellSet.empty((5, 5))
+        with pytest.raises(GeometryError):
+            self.a.union(other)
+
+    def test_equality_and_hash(self):
+        twin = CellSet.from_coords((4, 4), [(1, 1), (0, 0)])
+        assert twin == self.a
+        assert hash(twin) == hash(self.a)
+        assert self.a != self.b
+        assert self.a != "not a cellset"
+
+
+class TestGeometry:
+    def test_bounding_box(self):
+        s = CellSet.from_coords((6, 6), [(1, 2), (4, 3)])
+        assert s.bounding_box() == (1, 2, 4, 3)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(GeometryError):
+            CellSet.empty((3, 3)).bounding_box()
+
+    def test_diameter(self):
+        s = CellSet.from_coords((6, 6), [(0, 0), (3, 2)])
+        assert s.diameter() == 5
+        assert CellSet.empty((3, 3)).diameter() == 0
+        assert CellSet.from_coords((3, 3), [(1, 1)]).diameter() == 0
+
+    def test_translated(self):
+        s = CellSet.from_coords((5, 5), [(1, 1), (2, 1)])
+        t = s.translated(2, 3)
+        assert set(t.coords()) == {(3, 4), (4, 4)}
+
+    def test_translated_out_of_grid_raises(self):
+        s = CellSet.from_coords((5, 5), [(4, 4)])
+        with pytest.raises(GeometryError):
+            s.translated(1, 0)
+
+    def test_iteration_row_major(self):
+        s = CellSet.from_coords((3, 3), [(2, 0), (0, 1), (0, 0)])
+        assert s.coords() == [(0, 0), (0, 1), (2, 0)]

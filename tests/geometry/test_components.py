@@ -1,0 +1,79 @@
+"""Unit tests for connected components and set distances."""
+
+import pytest
+
+from repro.geometry import CellSet, connected_components, is_connected, set_distance
+
+
+class TestComponents4:
+    def test_single_component(self):
+        s = CellSet.from_coords((5, 5), [(1, 1), (1, 2), (2, 2)])
+        comps = connected_components(s, 4)
+        assert len(comps) == 1
+        assert comps[0] == s
+
+    def test_diagonal_cells_split_under_4(self):
+        s = CellSet.from_coords((5, 5), [(1, 1), (2, 2)])
+        assert len(connected_components(s, 4)) == 2
+
+    def test_diagonal_cells_join_under_8(self):
+        s = CellSet.from_coords((5, 5), [(1, 1), (2, 2)])
+        assert len(connected_components(s, 8)) == 1
+
+    def test_empty_set_has_no_components(self):
+        assert connected_components(CellSet.empty((4, 4)), 4) == []
+
+    def test_components_partition_the_set(self):
+        s = CellSet.from_coords((6, 6), [(0, 0), (0, 1), (3, 3), (5, 5)])
+        comps = connected_components(s, 4)
+        union = CellSet.empty((6, 6))
+        total = 0
+        for c in comps:
+            assert union.isdisjoint(c)
+            union = union | c
+            total += len(c)
+        assert union == s and total == len(s)
+
+    def test_deterministic_order(self):
+        s = CellSet.from_coords((6, 6), [(5, 5), (0, 0)])
+        comps = connected_components(s, 4)
+        assert comps[0].coords() == [(0, 0)]
+
+    def test_invalid_connectivity_rejected(self):
+        with pytest.raises(ValueError):
+            connected_components(CellSet.empty((3, 3)), 6)
+
+
+class TestIsConnected:
+    def test_empty_not_connected(self):
+        assert not is_connected(CellSet.empty((3, 3)))
+
+    def test_singleton_connected(self):
+        assert is_connected(CellSet.from_coords((3, 3), [(1, 1)]))
+
+    def test_connectivity_parameter_matters(self):
+        s = CellSet.from_coords((4, 4), [(0, 0), (1, 1)])
+        assert not is_connected(s, 4)
+        assert is_connected(s, 8)
+
+
+class TestSetDistance:
+    def test_adjacent_sets(self):
+        a = CellSet.from_coords((5, 5), [(0, 0)])
+        b = CellSet.from_coords((5, 5), [(0, 1)])
+        assert set_distance(a, b) == 1
+
+    def test_diagonal_distance_is_two(self):
+        a = CellSet.from_coords((5, 5), [(0, 0)])
+        b = CellSet.from_coords((5, 5), [(1, 1)])
+        assert set_distance(a, b) == 2
+
+    def test_min_over_pairs(self):
+        a = CellSet.from_coords((8, 8), [(0, 0), (0, 7)])
+        b = CellSet.from_coords((8, 8), [(4, 7)])
+        assert set_distance(a, b) == 4
+
+    def test_empty_raises(self):
+        a = CellSet.from_coords((3, 3), [(0, 0)])
+        with pytest.raises(ValueError):
+            set_distance(a, CellSet.empty((3, 3)))

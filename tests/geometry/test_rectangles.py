@@ -1,0 +1,82 @@
+"""Unit tests for Rect and rectangle predicates."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import CellSet, Rect, bounding_rect, is_rectangle
+
+
+class TestRect:
+    def test_degenerate_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect(2, 0, 1, 0)
+
+    def test_dimensions(self):
+        r = Rect(1, 2, 4, 3)
+        assert (r.width, r.height, r.area) == (4, 2, 8)
+        assert r.diameter == 4
+
+    def test_single_cell(self):
+        r = Rect(3, 3, 3, 3)
+        assert r.area == 1 and r.diameter == 0
+
+    def test_contains(self):
+        r = Rect(1, 1, 3, 3)
+        assert r.contains((1, 3)) and r.contains((2, 2))
+        assert not r.contains((0, 1)) and not r.contains((4, 3))
+
+    def test_cells_enumeration(self):
+        r = Rect(0, 0, 1, 1)
+        assert sorted(r.cells()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_corners(self):
+        assert Rect(0, 0, 2, 1).corners() == ((0, 0), (2, 0), (0, 1), (2, 1))
+
+    def test_intersects(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.intersects(Rect(2, 2, 4, 4))
+        assert not a.intersects(Rect(3, 0, 4, 2))
+
+    def test_distance(self):
+        a = Rect(0, 0, 1, 1)
+        assert a.distance(Rect(2, 0, 3, 1)) == 1   # edge-adjacent columns
+        assert a.distance(Rect(3, 0, 4, 1)) == 2   # one empty column between
+        assert a.distance(Rect(3, 3, 4, 4)) == 4   # Manhattan: dx 2 + dy 2
+        assert a.distance(Rect(1, 1, 5, 5)) == 0   # overlapping
+
+    def test_expanded_and_clamped(self):
+        r = Rect(1, 1, 2, 2).expanded(2)
+        assert r == Rect(-1, -1, 4, 4)
+        assert r.clamped((4, 4)) == Rect(0, 0, 3, 3)
+
+    def test_clamped_empty_raises(self):
+        with pytest.raises(GeometryError):
+            Rect(5, 5, 6, 6).clamped((4, 4))
+
+    def test_to_cells(self):
+        cs = Rect(1, 1, 2, 3).to_cells((5, 5))
+        assert len(cs) == 6 and is_rectangle(cs)
+
+    def test_to_cells_out_of_grid(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 5, 5).to_cells((5, 5))
+
+    def test_ordering_is_total(self):
+        assert sorted([Rect(1, 0, 1, 0), Rect(0, 0, 0, 0)])[0] == Rect(0, 0, 0, 0)
+
+
+class TestPredicates:
+    def test_bounding_rect(self):
+        s = CellSet.from_coords((6, 6), [(1, 1), (3, 4)])
+        assert bounding_rect(s) == Rect(1, 1, 3, 4)
+
+    def test_is_rectangle_true(self):
+        assert is_rectangle(Rect(0, 0, 2, 1).to_cells((4, 4)))
+        assert is_rectangle(CellSet.from_coords((4, 4), [(2, 2)]))
+
+    def test_is_rectangle_false_for_l_shape(self):
+        s = CellSet.from_coords((4, 4), [(0, 0), (1, 0), (0, 1)])
+        assert not is_rectangle(s)
+
+    def test_is_rectangle_false_for_empty(self):
+        assert not is_rectangle(CellSet.empty((4, 4)))

@@ -1,0 +1,96 @@
+"""End-to-end integration: fault injection -> labeling -> routing ->
+partition, on the paper-sized machine."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import run_fig5, summarize
+from repro.core import SafetyDefinition, label_mesh
+from repro.core.theorems import RESULT_CHECKS
+from repro.faults import clustered, uniform_random
+from repro.mesh import Mesh2D
+from repro.partition import cluster_cover, guillotine_cover
+from repro.routing import (
+    BFSRouter,
+    FaultModelView,
+    WallRouter,
+    evaluate_router,
+    sample_pairs,
+)
+
+
+class TestPaperSizedMachine:
+    """The paper's 100x100 mesh with up to 100 faults."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        rng = np.random.default_rng(2001)
+        mesh = Mesh2D(100, 100)
+        faults = uniform_random(mesh.shape, 100, rng)
+        return label_mesh(mesh, faults)
+
+    def test_rounds_much_lower_than_diameter(self, result):
+        assert result.rounds_phase1 <= 5
+        assert result.rounds_phase2 <= 5
+        assert result.topology.diameter == 198
+
+    def test_all_claims_hold_at_scale(self, result):
+        for name, check in RESULT_CHECKS.items():
+            outcome = check(result)
+            assert outcome.holds, (name, outcome.detail)
+
+    def test_enabled_ratio_is_high(self, result):
+        # Paper: "the average percentage ... stays very high".
+        ratios = result.per_block_enabled_ratios()
+        if ratios:
+            assert summarize(ratios).mean > 0.8
+
+
+class TestLabelThenRouteThenPartition:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rng = np.random.default_rng(7)
+        mesh = Mesh2D(32, 32)
+        faults = clustered(mesh.shape, 40, rng, clusters=3, spread=1.5)
+        result = label_mesh(mesh, faults)
+        return result, rng
+
+    def test_region_view_beats_block_view(self, setup):
+        result, rng = setup
+        vb = FaultModelView.from_blocks(result)
+        vr = FaultModelView.from_regions(result)
+        pairs = sample_pairs(vb, 100, rng)
+        mb = evaluate_router(BFSRouter(vb), pairs)
+        mr = evaluate_router(BFSRouter(vr), pairs)
+        assert vr.num_enabled >= vb.num_enabled
+        assert mr.delivery_rate >= mb.delivery_rate
+
+    def test_wall_router_usable_on_refined_model(self, setup):
+        result, rng = setup
+        vr = FaultModelView.from_regions(result)
+        pairs = sample_pairs(vr, 60, rng)
+        m = evaluate_router(WallRouter(vr), pairs)
+        assert m.delivery_rate >= 0.9 * m.reachability
+
+    def test_partition_improves_or_ties_every_region(self, setup):
+        result, _ = setup
+        for region in result.regions:
+            baseline = region.num_nonfaulty
+            for cover_fn in (cluster_cover, guillotine_cover):
+                cover = cover_fn(region.faults)
+                assert cover.num_nonfaulty <= baseline
+
+
+class TestFig5SmokeAtScale:
+    def test_small_paper_sweep(self):
+        curve = run_fig5(
+            SafetyDefinition.DEF_2B,
+            f_values=[0, 50, 100],
+            trials=3,
+            seed=1,
+        )
+        # Shape assertions from the paper's Figure 5.
+        assert curve.points[0].rounds_fb.mean == 0.0
+        assert all(p.rounds_fb.mean < 10 for p in curve.points)
+        last = curve.points[-1]
+        assert last.enabled_ratio.mean > 0.8

@@ -1,0 +1,83 @@
+"""Integration test: the Figure-1 family of constructions.
+
+Figure 1 of the paper contrasts, for one fault pattern, the faulty
+block under Definition 2a (panel a), under Definition 2b (panel b),
+and the disabled regions after applying the enable rule to each
+(panels c/d).  The exact node layout of the figure is not given in the
+text, so we use a representative pattern with the same qualitative
+behaviour and assert the orderings the figure demonstrates:
+
+* Definition 2b produces fewer (or equal) imprisoned nonfaulty nodes
+  and possibly more, smaller blocks than Definition 2a;
+* the enable rule strictly refines both: disabled regions never hold
+  more nonfaulty nodes than their blocks;
+* every region is an orthogonal convex polygon regardless of the
+  phase-1 definition.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SafetyDefinition, label_mesh
+from repro.core.theorems import check_all
+from repro.faults import FaultSet
+from repro.mesh import Mesh2D
+
+# A clustered pattern producing a sizeable block with internal structure:
+# a diagonal chain (whose block is a 4x4 square but whose disabled region
+# is just the staircase) plus two satellites, in the spirit of Figure 1.
+PATTERN = [(2, 2), (3, 3), (4, 4), (5, 5), (7, 2), (2, 7)]
+
+
+@pytest.fixture(scope="module")
+def results():
+    mesh = Mesh2D(10, 10)
+    faults = FaultSet.from_coords((10, 10), PATTERN)
+    return {
+        d: label_mesh(mesh, faults, d) for d in SafetyDefinition
+    }
+
+
+class TestFigure1Orderings:
+    def test_2b_imprisons_no_more_than_2a(self, results):
+        a = results[SafetyDefinition.DEF_2A]
+        b = results[SafetyDefinition.DEF_2B]
+        assert b.num_unsafe_nonfaulty <= a.num_unsafe_nonfaulty
+
+    def test_2b_unsafe_subset_of_2a(self, results):
+        a = results[SafetyDefinition.DEF_2A]
+        b = results[SafetyDefinition.DEF_2B]
+        assert not np.any(b.labels.unsafe & ~a.labels.unsafe)
+
+    def test_enable_rule_refines_blocks(self, results):
+        for r in results.values():
+            disabled_nonfaulty = sum(reg.num_nonfaulty for reg in r.regions)
+            block_nonfaulty = sum(b.num_nonfaulty for b in r.blocks)
+            assert disabled_nonfaulty <= block_nonfaulty
+
+    def test_regions_are_orthoconvex_for_both_definitions(self, results):
+        for r in results.values():
+            outcomes = check_all(r)
+            assert all(o.holds for o in outcomes), [o for o in outcomes if not o]
+
+    def test_pattern_actually_exercises_refinement(self, results):
+        # Guard against a degenerate pattern: phase 2 must activate
+        # at least one node here.
+        r = results[SafetyDefinition.DEF_2B]
+        assert r.num_activated > 0
+
+
+class TestFigure1Rendering:
+    def test_ascii_gallery_renders(self, results):
+        from repro.viz import render_result
+
+        for d, r in results.items():
+            art = render_result(r)
+            assert art.count("#") == len(PATTERN)
+
+    def test_svg_gallery_renders(self, results):
+        from repro.viz import svg_of_result
+
+        for r in results.values():
+            svg = svg_of_result(r)
+            assert svg.count("<rect") == 100

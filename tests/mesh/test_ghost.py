@@ -1,0 +1,58 @@
+"""Unit tests for the ghost frame."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.mesh import GhostFrame
+
+
+class TestGhostFrame:
+    def test_framed_shape(self):
+        assert GhostFrame(5, 3).framed_shape == (7, 5)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(TopologyError):
+            GhostFrame(0, 3)
+
+    def test_coordinate_mapping_roundtrip(self):
+        f = GhostFrame(4, 4)
+        for c in [(0, 0), (3, 3), (1, 2)]:
+            assert f.to_bare(f.to_framed(c)) == c
+
+    def test_to_bare_rejects_ghosts(self):
+        f = GhostFrame(4, 4)
+        with pytest.raises(TopologyError):
+            f.to_bare((0, 2))
+        with pytest.raises(TopologyError):
+            f.to_bare((5, 1))
+
+    def test_is_ghost_ring_only(self):
+        f = GhostFrame(3, 3)
+        ghosts = [c for c in np.ndindex(f.framed_shape) if f.is_ghost(c)]
+        # Frame of a 3x3 grid: 5*5 - 3*3 = 16 ghost positions.
+        assert len(ghosts) == 16
+        assert not f.is_ghost((1, 1)) and not f.is_ghost((3, 3))
+
+    @pytest.mark.parametrize("ghost_value", [False, True])
+    def test_frame_fills_ring(self, ghost_value):
+        f = GhostFrame(3, 3)
+        grid = np.zeros((3, 3), dtype=bool)
+        grid[1, 1] = True
+        framed = f.frame(grid, ghost_value)
+        assert framed[2, 2]  # interior shifted by (+1, +1)
+        assert bool(framed[0, 0]) is ghost_value
+        assert bool(framed[4, 2]) is ghost_value
+
+    def test_frame_unframe_roundtrip(self):
+        f = GhostFrame(4, 2)
+        rng = np.random.default_rng(0)
+        grid = rng.random((4, 2)) < 0.5
+        assert np.array_equal(f.unframe(f.frame(grid, True)), grid)
+
+    def test_shape_validation(self):
+        f = GhostFrame(3, 3)
+        with pytest.raises(TopologyError):
+            f.frame(np.zeros((4, 3), dtype=bool), False)
+        with pytest.raises(TopologyError):
+            f.unframe(np.zeros((3, 3), dtype=bool))

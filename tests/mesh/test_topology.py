@@ -1,0 +1,159 @@
+"""Unit tests for Mesh2D and Torus2D."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.mesh import Dimension, Direction, Mesh2D, Torus2D
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("bad", [(0, 5), (5, 0), (-1, 3)])
+    def test_rejects_nonpositive_dimensions(self, bad):
+        with pytest.raises(TopologyError):
+            Mesh2D(*bad)
+        with pytest.raises(TopologyError):
+            Torus2D(*bad)
+
+    def test_shape_and_counts(self):
+        m = Mesh2D(5, 7)
+        assert m.shape == (5, 7)
+        assert m.num_nodes == 35
+        assert m.width == 5 and m.height == 7
+
+    def test_equality_and_hash(self):
+        assert Mesh2D(4, 4) == Mesh2D(4, 4)
+        assert Mesh2D(4, 4) != Torus2D(4, 4)
+        assert Mesh2D(4, 4) != Mesh2D(4, 5)
+        assert hash(Mesh2D(4, 4)) == hash(Mesh2D(4, 4))
+
+
+class TestMeshStructure:
+    def test_diameter_matches_paper_formula(self):
+        # Paper: an n x n mesh has network diameter 2(n - 1).
+        assert Mesh2D(100, 100).diameter == 198
+        assert Mesh2D(4, 9).diameter == 11
+
+    def test_interior_degree_four(self):
+        m = Mesh2D(5, 5)
+        assert m.degree((2, 2)) == 4
+
+    def test_corner_degree_two_edge_degree_three(self):
+        m = Mesh2D(5, 5)
+        assert m.degree((0, 0)) == 2
+        assert m.degree((0, 2)) == 3
+
+    def test_boundary_neighbor_is_none(self):
+        m = Mesh2D(5, 5)
+        assert m.neighbor((0, 0), Direction.WEST) is None
+        assert m.neighbor((0, 0), Direction.SOUTH) is None
+        assert m.neighbor((4, 4), Direction.EAST) is None
+
+    def test_neighbors_in_dim(self):
+        m = Mesh2D(5, 5)
+        assert set(m.neighbors_in_dim((2, 2), Dimension.X)) == {(1, 2), (3, 2)}
+        assert set(m.neighbors_in_dim((0, 2), Dimension.X)) == {(1, 2)}
+
+    def test_distance_is_manhattan(self):
+        m = Mesh2D(10, 10)
+        assert m.distance((1, 1), (4, 7)) == 9
+
+    def test_nodes_enumeration(self):
+        m = Mesh2D(3, 2)
+        assert list(m.nodes()) == [(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]
+
+    def test_contains_and_check(self):
+        m = Mesh2D(3, 3)
+        assert m.contains((2, 2)) and not m.contains((3, 0))
+        with pytest.raises(TopologyError):
+            m.check((0, -1))
+
+
+class TestTorusStructure:
+    def test_every_node_degree_four(self):
+        t = Torus2D(4, 4)
+        for c in t.nodes():
+            assert t.degree(c) == 4
+
+    def test_wraparound_neighbors(self):
+        t = Torus2D(5, 5)
+        assert t.neighbor((0, 0), Direction.WEST) == (4, 0)
+        assert t.neighbor((4, 4), Direction.EAST) == (0, 4)
+        assert t.neighbor((2, 0), Direction.SOUTH) == (2, 4)
+
+    def test_distance_uses_wrap(self):
+        t = Torus2D(10, 10)
+        assert t.distance((0, 0), (9, 0)) == 1
+        assert t.distance((0, 0), (5, 5)) == 10
+        assert t.distance((1, 1), (8, 9)) == 3 + 2
+
+    def test_diameter(self):
+        assert Torus2D(10, 10).diameter == 10
+        assert Torus2D(5, 5).diameter == 4
+
+
+class TestShiftedViews:
+    def test_mesh_shift_semantics(self):
+        m = Mesh2D(3, 3)
+        g = m.empty_grid()
+        g[1, 1] = True
+        east = m.shifted(g, Direction.EAST, fill=False)
+        # east[x, y] = g[x+1, y]: only (0, 1) sees the marked node to its east.
+        assert east[0, 1] and east.sum() == 1
+        north = m.shifted(g, Direction.NORTH, fill=False)
+        assert north[1, 0] and north.sum() == 1
+
+    @pytest.mark.parametrize("fill", [False, True])
+    def test_mesh_fill_applies_on_boundary(self, fill):
+        m = Mesh2D(3, 3)
+        g = m.empty_grid()
+        east = m.shifted(g, Direction.EAST, fill=fill)
+        # The easternmost column's east neighbour is a ghost -> fill value.
+        assert bool(east[2, 0]) is fill
+        assert bool(east[2, 2]) is fill
+
+    def test_torus_shift_wraps(self):
+        t = Torus2D(3, 3)
+        g = t.empty_grid()
+        g[0, 0] = True
+        east = t.shifted(g, Direction.EAST, fill=False)
+        # Node (2, 0)'s east neighbour wraps to (0, 0).
+        assert east[2, 0] and east.sum() == 1
+
+    def test_shift_matches_neighbor_pointwise(self, any_topology):
+        topo = any_topology
+        rng = np.random.default_rng(1)
+        g = rng.random(topo.shape) < 0.4
+        for d in Direction:
+            view = topo.shifted(g, d, fill=False)
+            for c in topo.nodes():
+                n = topo.neighbor(c, d)
+                expected = bool(g[n]) if n is not None else False
+                assert bool(view[c]) == expected, (c, d)
+
+    def test_shift_rejects_wrong_shape(self):
+        m = Mesh2D(3, 3)
+        with pytest.raises(TopologyError):
+            m.shifted(np.zeros((2, 2), dtype=bool), Direction.EAST, fill=False)
+
+    def test_shift_does_not_mutate_input(self):
+        m = Mesh2D(4, 4)
+        g = m.empty_grid()
+        g[2, 2] = True
+        before = g.copy()
+        m.shifted(g, Direction.WEST, fill=True)
+        assert np.array_equal(g, before)
+
+
+class TestGridHelpers:
+    def test_grid_from_coords_validates(self):
+        m = Mesh2D(4, 4)
+        g = m.grid_from_coords([(0, 0), (3, 3)])
+        assert g.sum() == 2 and g[0, 0] and g[3, 3]
+        with pytest.raises(TopologyError):
+            m.grid_from_coords([(4, 0)])
+
+    def test_empty_grid_fill(self):
+        m = Mesh2D(2, 2)
+        assert not m.empty_grid().any()
+        assert m.empty_grid(True).all()

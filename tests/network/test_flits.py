@@ -1,0 +1,44 @@
+"""Unit tests for flits and worm packets."""
+
+import pytest
+
+from repro.network import Flit, FlitKind, WormPacket
+
+
+class TestFlitKind:
+    def test_head_tail_flags(self):
+        assert FlitKind.HEAD.is_head and not FlitKind.HEAD.is_tail
+        assert FlitKind.TAIL.is_tail and not FlitKind.TAIL.is_head
+        assert FlitKind.HEAD_TAIL.is_head and FlitKind.HEAD_TAIL.is_tail
+        assert not FlitKind.BODY.is_head and not FlitKind.BODY.is_tail
+
+
+class TestWormPacket:
+    def test_flit_sequence_structure(self):
+        p = WormPacket(1, (0, 0), (3, 3), length=4, inject_cycle=0)
+        flits = list(p.flits())
+        assert len(flits) == 4
+        assert flits[0].kind is FlitKind.HEAD
+        assert flits[-1].kind is FlitKind.TAIL
+        assert all(f.kind is FlitKind.BODY for f in flits[1:-1])
+        assert [f.index for f in flits] == [0, 1, 2, 3]
+
+    def test_single_flit_packet(self):
+        p = WormPacket(1, (0, 0), (1, 1), length=1, inject_cycle=0)
+        flits = list(p.flits())
+        assert len(flits) == 1 and flits[0].kind is FlitKind.HEAD_TAIL
+
+    def test_two_flit_packet_has_no_body(self):
+        p = WormPacket(1, (0, 0), (1, 1), length=2, inject_cycle=0)
+        kinds = [f.kind for f in p.flits()]
+        assert kinds == [FlitKind.HEAD, FlitKind.TAIL]
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            WormPacket(1, (0, 0), (1, 1), length=0, inject_cycle=0)
+
+    def test_latency_lifecycle(self):
+        p = WormPacket(1, (0, 0), (1, 1), length=2, inject_cycle=5)
+        assert not p.delivered and p.latency is None
+        p.finish_cycle = 17
+        assert p.delivered and p.latency == 12

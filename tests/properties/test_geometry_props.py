@@ -1,0 +1,106 @@
+"""Property-based tests for the geometry substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    CellSet,
+    connect_orthoconvex,
+    connected_components,
+    corner_cells,
+    is_connected,
+    is_orthoconvex,
+    orthoconvex_closure,
+    perimeter,
+)
+
+GRID = (10, 10)
+
+
+@st.composite
+def cell_sets(draw, min_cells=0, max_cells=14):
+    n = draw(st.integers(min_cells, max_cells))
+    coords = draw(
+        st.lists(
+            st.tuples(st.integers(0, GRID[0] - 1), st.integers(0, GRID[1] - 1)),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        )
+    )
+    return CellSet.from_coords(GRID, coords)
+
+
+class TestClosureProperties:
+    @given(cell_sets())
+    def test_closure_is_superset(self, s):
+        assert s <= orthoconvex_closure(s)
+
+    @given(cell_sets())
+    def test_closure_is_idempotent(self, s):
+        c = orthoconvex_closure(s)
+        assert orthoconvex_closure(c) == c
+
+    @given(cell_sets())
+    def test_closure_is_span_convex(self, s):
+        c = orthoconvex_closure(s)
+        if c:
+            assert is_orthoconvex(c, require_connected=False)
+
+    @given(cell_sets(), cell_sets())
+    def test_closure_is_monotone(self, a, b):
+        # S ⊆ T implies closure(S) ⊆ closure(T); test via union.
+        u = a | b
+        assert orthoconvex_closure(a) <= orthoconvex_closure(u)
+
+    @given(cell_sets(min_cells=1))
+    def test_connect_produces_polygon(self, s):
+        p = connect_orthoconvex(s)
+        assert s <= p
+        assert is_orthoconvex(p, require_connected=True)
+
+    @given(cell_sets(min_cells=1, max_cells=6))
+    def test_connect_of_connected_closure_is_closure(self, s):
+        c = orthoconvex_closure(s)
+        if is_connected(c, connectivity=8):
+            assert connect_orthoconvex(s) == c
+
+
+class TestComponentProperties:
+    @given(cell_sets(), st.sampled_from([4, 8]))
+    def test_components_partition(self, s, conn):
+        comps = connected_components(s, conn)
+        assert sum(len(c) for c in comps) == len(s)
+        union = CellSet.empty(GRID)
+        for c in comps:
+            assert union.isdisjoint(c)
+            union = union | c
+        assert union == s
+
+    @given(cell_sets())
+    def test_8_components_coarsen_4_components(self, s):
+        assert len(connected_components(s, 8)) <= len(connected_components(s, 4))
+
+    @given(cell_sets(min_cells=1))
+    def test_each_component_is_connected(self, s):
+        for c in connected_components(s, 4):
+            assert is_connected(c, 4)
+
+
+class TestBoundaryProperties:
+    @given(cell_sets(min_cells=1))
+    def test_perimeter_parity_and_bounds(self, s):
+        p = perimeter(s)
+        assert p % 2 == 0
+        assert p >= 4  # at least one cell's worth
+        assert p <= 4 * len(s)
+
+    @given(cell_sets(min_cells=1))
+    def test_corners_are_members(self, s):
+        assert corner_cells(s) <= s
+
+    @given(cell_sets(min_cells=1))
+    def test_every_nonempty_region_has_a_corner(self, s):
+        # Lemma 2's proof guarantees at least one corner in any region.
+        assert len(corner_cells(s)) >= 1

@@ -1,0 +1,82 @@
+"""Property-based tests for the routing layer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import label_mesh
+from repro.faults import FaultSet
+from repro.mesh import Mesh2D
+from repro.routing import (
+    BFSRouter,
+    FaultModelView,
+    MinimalRouter,
+    WallRouter,
+    XYRouter,
+    minimal_feasible,
+)
+
+W = H = 10
+
+
+@st.composite
+def views(draw, max_faults=10):
+    n = draw(st.integers(0, max_faults))
+    coords = draw(
+        st.lists(
+            st.tuples(st.integers(0, W - 1), st.integers(0, H - 1)),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        )
+    )
+    faults = FaultSet.from_coords((W, H), coords)
+    result = label_mesh(Mesh2D(W, H), faults)
+    return FaultModelView.from_regions(result)
+
+
+coords_st = st.tuples(st.integers(0, W - 1), st.integers(0, H - 1))
+
+
+class TestRouterContracts:
+    @given(views(), coords_st, coords_st)
+    @settings(max_examples=40, deadline=None)
+    def test_paths_are_legal(self, view, s, d):
+        for router_cls in (XYRouter, WallRouter, BFSRouter, MinimalRouter):
+            r = router_cls(view).route(s, d)
+            # Path starts at the source, hops are unit mesh moves, and
+            # every visited node except a possibly-disabled source is
+            # enabled.
+            assert r.path[0] == s
+            for a, b in zip(r.path, r.path[1:]):
+                assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+                assert view.is_enabled(b)
+            if r.delivered:
+                assert r.path[-1] == d
+                assert r.hops >= r.manhattan
+
+    @given(views(), coords_st, coords_st)
+    @settings(max_examples=40, deadline=None)
+    def test_bfs_dominates_everyone(self, view, s, d):
+        oracle = BFSRouter(view).route(s, d)
+        for router_cls in (XYRouter, WallRouter, MinimalRouter):
+            r = router_cls(view).route(s, d)
+            if r.delivered:
+                assert oracle.delivered
+                assert oracle.hops <= r.hops
+
+    @given(views(), coords_st, coords_st)
+    @settings(max_examples=40, deadline=None)
+    def test_minimal_router_iff_feasible(self, view, s, d):
+        r = MinimalRouter(view).route(s, d)
+        feasible = minimal_feasible(view, s, d)
+        assert r.delivered == feasible
+        if r.delivered:
+            assert r.is_minimal
+
+    @given(views(), coords_st, coords_st)
+    @settings(max_examples=30, deadline=None)
+    def test_xy_delivery_implies_minimal(self, view, s, d):
+        r = XYRouter(view).route(s, d)
+        if r.delivered:
+            assert r.is_minimal

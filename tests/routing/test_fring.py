@@ -1,0 +1,114 @@
+"""Unit tests for the rectangle f-ring router."""
+
+import numpy as np
+import pytest
+
+from repro.core import label_mesh
+from repro.errors import RoutingError
+from repro.faults import FaultSet, clustered, uniform_random
+from repro.mesh import Mesh2D
+from repro.routing import (
+    BFSRouter,
+    DropReason,
+    FaultModelView,
+    FRingRouter,
+)
+
+
+def block_view(coords, shape=(12, 12)):
+    m = Mesh2D(*shape)
+    res = label_mesh(m, FaultSet.from_coords(shape, coords))
+    return FaultModelView.from_blocks(res)
+
+
+class TestConstruction:
+    def test_accepts_block_view(self):
+        FRingRouter(block_view([(4, 4), (5, 5)]))
+
+    def test_rejects_polygonal_obstacles(self):
+        m = Mesh2D(12, 12)
+        res = label_mesh(
+            m, FaultSet.from_coords((12, 12), [(4, 4), (5, 5), (6, 6)])
+        )
+        # The region view's obstacle is a staircase, not a rectangle.
+        view = FaultModelView.from_regions(res)
+        with pytest.raises(RoutingError):
+            FRingRouter(view)
+
+
+class TestDetours:
+    def test_fault_free_is_minimal(self):
+        r = FRingRouter(block_view([])).route((0, 0), (11, 7))
+        assert r.delivered and r.is_minimal
+
+    def test_detours_around_single_block(self):
+        # A 2x2 block straight across the row.
+        v = block_view([(5, 5), (6, 6)])
+        r = FRingRouter(v).route((0, 5), (11, 5))
+        assert r.delivered
+        assert all(v.is_enabled(c) for c in r.path)
+        # Around a 2-wide block: up to the rim, across, back = 4 extra.
+        assert r.detour <= 4
+
+    def test_detour_prefers_nearer_face(self):
+        # Destination above the block: the packet should go over the
+        # top, not under the bottom.
+        v = block_view([(5, 5), (6, 6)])
+        r = FRingRouter(v).route((0, 5), (11, 7))
+        assert r.delivered
+        assert all(c[1] >= 4 for c in r.path)
+
+    def test_dest_in_block_shadow(self):
+        # Destination column inside the block's x-extent, on the far
+        # side in y: the packet must round a corner of the rectangle.
+        v = block_view([(5, 5), (6, 6)])
+        r = FRingRouter(v).route((5, 0), (5, 11))
+        assert r.delivered
+
+    def test_block_on_mesh_edge(self):
+        # Block hugging the south edge: only the north face exists.
+        v = block_view([(5, 0), (6, 1)])
+        r = FRingRouter(v).route((0, 0), (11, 0))
+        assert r.delivered
+        assert max(c[1] for c in r.path) >= 2  # went over the top face (y=2)
+
+    def test_sealed_corner_reports_blocked(self):
+        v = block_view([(10, 11), (10, 10), (11, 10)])
+        r = FRingRouter(v).route((0, 0), (11, 11))
+        assert not r.delivered
+        assert r.reason in (DropReason.BLOCKED, DropReason.BAD_ENDPOINT)
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_delivers_whenever_oracle_does(self, seed):
+        rng = np.random.default_rng(seed)
+        m = Mesh2D(16, 16)
+        faults = clustered(m.shape, 16, rng, clusters=2, spread=1.5)
+        res = label_mesh(m, faults)
+        v = FaultModelView.from_blocks(res)
+        fring = FRingRouter(v)
+        oracle = BFSRouter(v)
+        pairs_rng = np.random.default_rng(seed + 99)
+        for _ in range(40):
+            s, d = v.random_enabled_pair(pairs_rng)
+            if oracle.route(s, d).delivered:
+                got = fring.route(s, d)
+                assert got.delivered, (s, d, got.reason)
+                assert got.hops >= oracle.route(s, d).hops
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_paths_legal_on_random_patterns(self, seed):
+        rng = np.random.default_rng(seed + 40)
+        m = Mesh2D(14, 14)
+        faults = uniform_random(m.shape, 18, rng)
+        res = label_mesh(m, faults)
+        v = FaultModelView.from_blocks(res)
+        router = FRingRouter(v)
+        pair_rng = np.random.default_rng(seed)
+        for _ in range(30):
+            s, d = v.random_enabled_pair(pair_rng)
+            r = router.route(s, d)
+            for a, b in zip(r.path, r.path[1:]):
+                assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+                assert v.is_enabled(b)

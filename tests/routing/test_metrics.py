@@ -1,0 +1,95 @@
+"""Unit tests for routing metrics — including the paper's payoff claim."""
+
+import numpy as np
+import pytest
+
+from repro.core import label_mesh
+from repro.faults import clustered
+from repro.mesh import Mesh2D
+from repro.routing import (
+    BFSRouter,
+    FaultModelView,
+    RoutingMetrics,
+    XYRouter,
+    evaluate_router,
+    sample_pairs,
+)
+
+
+class TestRoutingMetrics:
+    def test_rates(self):
+        m = RoutingMetrics(
+            router="t",
+            num_pairs=10,
+            delivered=8,
+            reachable=9,
+            total_hops=40,
+            total_detour=4,
+            minimal=6,
+            num_enabled=50,
+        )
+        assert m.delivery_rate == 0.8
+        assert m.reachability == 0.9
+        assert m.mean_hops == 5.0
+        assert m.mean_detour == 0.5
+        assert m.minimal_fraction == 0.75
+
+    def test_empty_sample(self):
+        m = RoutingMetrics("t", 0, 0, 0, 0, 0, 0, 0)
+        assert m.delivery_rate == 1.0
+        assert np.isnan(m.mean_hops)
+
+
+class TestEvaluate:
+    def _setup(self, seed=0):
+        rng = np.random.default_rng(seed)
+        mesh = Mesh2D(20, 20)
+        faults = clustered(mesh.shape, 24, rng, clusters=2, spread=1.5)
+        return label_mesh(mesh, faults), rng
+
+    def test_oracle_metrics_consistent(self):
+        res, rng = self._setup()
+        v = FaultModelView.from_regions(res)
+        pairs = sample_pairs(v, 50, rng)
+        m = evaluate_router(BFSRouter(v), pairs)
+        # The oracle delivers exactly the reachable pairs.
+        assert m.delivered == m.reachable
+        assert m.num_pairs == 50
+
+    def test_xy_no_worse_than_oracle(self):
+        res, rng = self._setup(1)
+        v = FaultModelView.from_regions(res)
+        pairs = sample_pairs(v, 50, rng)
+        xy = evaluate_router(XYRouter(v), pairs)
+        oracle = evaluate_router(BFSRouter(v), pairs)
+        assert xy.delivered <= oracle.delivered
+
+    def test_refined_model_never_hurts(self):
+        # The paper's payoff: the disabled-region view enables a superset
+        # of nodes, so oracle reachability and delivery can only improve.
+        for seed in range(4):
+            res, rng = self._setup(seed + 10)
+            vb = FaultModelView.from_blocks(res)
+            vr = FaultModelView.from_regions(res)
+            assert vr.num_enabled >= vb.num_enabled
+            pairs = sample_pairs(vb, 60, rng)  # endpoints valid in both
+            mb = evaluate_router(BFSRouter(vb), pairs)
+            mr = evaluate_router(BFSRouter(vr), pairs)
+            assert mr.delivered >= mb.delivered
+            assert mr.total_hops <= mb.total_hops or mr.delivered > mb.delivered
+
+    def test_disabled_endpoint_counts_as_failure(self):
+        res, rng = self._setup(2)
+        vb = FaultModelView.from_blocks(res)
+        vr = FaultModelView.from_regions(res)
+        # Find a node enabled under regions but not blocks.
+        diff = vr.enabled & ~vb.enabled
+        assert diff.any()
+        xs, ys = np.nonzero(diff)
+        activated = (int(xs[0]), int(ys[0]))
+        safe_pair = sample_pairs(vb, 1, rng)[0]
+        pairs = [(activated, safe_pair[1])]
+        mb = evaluate_router(BFSRouter(vb), pairs)
+        mr = evaluate_router(BFSRouter(vr), pairs)
+        assert mb.delivered == 0
+        assert mr.delivered == 1

@@ -1,0 +1,34 @@
+"""Unit tests for packets and route results."""
+
+from repro.routing import DropReason, RouteResult
+from repro.routing.packet import finish
+
+
+class TestRouteResult:
+    def test_delivered_result(self):
+        r = finish((0, 0), (2, 0), [(0, 0), (1, 0), (2, 0)], DropReason.NONE)
+        assert r.delivered
+        assert r.hops == 2
+        assert r.manhattan == 2
+        assert r.detour == 0
+        assert r.is_minimal
+
+    def test_detoured_result(self):
+        path = [(0, 0), (0, 1), (1, 1), (2, 1), (2, 0)]
+        r = finish((0, 0), (2, 0), path, DropReason.NONE)
+        assert r.delivered and r.hops == 4 and r.detour == 2
+        assert not r.is_minimal
+
+    def test_dropped_result(self):
+        r = finish((0, 0), (5, 5), [(0, 0), (1, 0)], DropReason.BLOCKED)
+        assert not r.delivered
+        assert r.reason is DropReason.BLOCKED
+        assert r.hops == 1
+
+    def test_self_delivery(self):
+        r = finish((3, 3), (3, 3), [(3, 3)], DropReason.NONE)
+        assert r.delivered and r.hops == 0 and r.is_minimal
+
+    def test_dropped_is_never_minimal(self):
+        r = finish((0, 0), (1, 0), [(0, 0)], DropReason.BAD_ENDPOINT)
+        assert not r.is_minimal

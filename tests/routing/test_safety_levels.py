@@ -1,0 +1,99 @@
+"""Unit tests for directional safety levels and their router."""
+
+import numpy as np
+import pytest
+
+from repro.core import label_mesh
+from repro.faults import FaultSet, uniform_random
+from repro.mesh import Direction, Mesh2D
+from repro.routing import (
+    FaultModelView,
+    MinimalRouter,
+    SafetyLevelRouter,
+    XYRouter,
+    safety_levels,
+)
+
+
+def view_for(coords, shape=(10, 10)):
+    m = Mesh2D(*shape)
+    res = label_mesh(m, FaultSet.from_coords(shape, coords))
+    return FaultModelView.from_regions(res)
+
+
+class TestSafetyLevels:
+    def test_clean_grid_levels_are_edge_distances(self):
+        enabled = np.ones((5, 5), dtype=bool)
+        lv = safety_levels(enabled)
+        assert lv[Direction.EAST][0, 0] == 4
+        assert lv[Direction.EAST][4, 0] == 0
+        assert lv[Direction.WEST][4, 2] == 4
+        assert lv[Direction.NORTH][2, 0] == 4
+        assert lv[Direction.SOUTH][2, 4] == 4
+
+    def test_disabled_node_truncates_runs(self):
+        enabled = np.ones((6, 6), dtype=bool)
+        enabled[3, 2] = False
+        lv = safety_levels(enabled)
+        assert lv[Direction.EAST][0, 2] == 2   # runs up to x=2
+        assert lv[Direction.EAST][4, 2] == 1   # unobstructed beyond
+        assert lv[Direction.WEST][5, 2] == 1
+        assert lv[Direction.NORTH][3, 0] == 1
+        assert lv[Direction.SOUTH][3, 5] == 2
+
+    def test_levels_match_bruteforce(self):
+        rng = np.random.default_rng(3)
+        enabled = rng.random((8, 8)) > 0.2
+        lv = safety_levels(enabled)
+        for x in range(8):
+            for y in range(8):
+                run = 0
+                cx = x + 1
+                while cx < 8 and enabled[cx, y]:
+                    run += 1
+                    cx += 1
+                assert lv[Direction.EAST][x, y] == run, (x, y)
+
+
+class TestSafetyLevelRouter:
+    def test_fault_free_minimal(self):
+        v = view_for([])
+        r = SafetyLevelRouter(v).route((0, 0), (9, 7))
+        assert r.delivered and r.is_minimal
+
+    def test_avoids_dead_end_xy_hits(self):
+        # A fault on the XY leg: XY drops, the safety-level router sees
+        # the short eastward run and corrects Y first.
+        v = view_for([(5, 0)])
+        xy = XYRouter(v).route((0, 0), (9, 5))
+        assert not xy.delivered
+        sl = SafetyLevelRouter(v).route((0, 0), (9, 5))
+        assert sl.delivered and sl.is_minimal
+
+    def test_never_misroutes(self):
+        rng = np.random.default_rng(4)
+        v = view_for([(3, 3), (6, 2), (4, 7)])
+        router = SafetyLevelRouter(v)
+        for _ in range(30):
+            s, d = v.random_enabled_pair(rng)
+            r = router.route(s, d)
+            if r.delivered:
+                assert r.is_minimal
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_between_xy_and_exact_minimal(self, seed):
+        # Delivery dominance: XY <= safety-level <= exact minimal.
+        rng = np.random.default_rng(seed)
+        m = Mesh2D(14, 14)
+        faults = uniform_random(m.shape, 16, rng)
+        res = label_mesh(m, faults)
+        v = FaultModelView.from_regions(res)
+        xy, sl, exact = XYRouter(v), SafetyLevelRouter(v), MinimalRouter(v)
+        pair_rng = np.random.default_rng(seed + 77)
+        n_xy = n_sl = n_exact = 0
+        for _ in range(60):
+            s, d = v.random_enabled_pair(pair_rng)
+            n_xy += xy.route(s, d).delivered
+            n_sl += sl.route(s, d).delivered
+            n_exact += exact.route(s, d).delivered
+        assert n_xy <= n_sl <= n_exact

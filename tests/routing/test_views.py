@@ -1,0 +1,66 @@
+"""Unit tests for FaultModelView."""
+
+import numpy as np
+import pytest
+
+from repro.core import label_mesh
+from repro.errors import RoutingError
+from repro.faults import FaultSet
+from repro.mesh import Mesh2D
+from repro.routing import FaultModelView
+
+
+def paper_result():
+    m = Mesh2D(6, 6)
+    return label_mesh(m, FaultSet.from_coords((6, 6), [(1, 3), (2, 1), (3, 2)]))
+
+
+class TestViews:
+    def test_block_view_disables_all_unsafe(self):
+        r = paper_result()
+        v = FaultModelView.from_blocks(r)
+        # 36 nodes - 9 unsafe (3 faults + 6 nonfaulty) = 27 enabled.
+        assert v.num_enabled == 27
+        assert not v.is_enabled((2, 2))
+
+    def test_region_view_enables_activated_nodes(self):
+        r = paper_result()
+        v = FaultModelView.from_regions(r)
+        # Only the 3 faults stay out.
+        assert v.num_enabled == 33
+        assert v.is_enabled((2, 2))
+        assert not v.is_enabled((2, 1))
+
+    def test_region_view_superset_of_block_view(self):
+        r = paper_result()
+        vb = FaultModelView.from_blocks(r)
+        vr = FaultModelView.from_regions(r)
+        assert not (vb.enabled & ~vr.enabled).any()
+
+    def test_obstacles_match_model(self):
+        r = paper_result()
+        assert len(FaultModelView.from_blocks(r).obstacles) == 1
+        assert len(FaultModelView.from_regions(r).obstacles) == 2
+
+    def test_is_enabled_out_of_grid(self):
+        r = paper_result()
+        v = FaultModelView.from_regions(r)
+        assert not v.is_enabled((-1, 0))
+        assert not v.is_enabled((6, 6))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(RoutingError):
+            FaultModelView(Mesh2D(4, 4), np.ones((5, 5), dtype=bool))
+
+    def test_random_enabled_pair(self):
+        r = paper_result()
+        v = FaultModelView.from_regions(r)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            s, d = v.random_enabled_pair(rng)
+            assert s != d and v.is_enabled(s) and v.is_enabled(d)
+
+    def test_random_pair_needs_two_enabled(self):
+        v = FaultModelView(Mesh2D(2, 1), np.array([[True], [False]]))
+        with pytest.raises(RoutingError):
+            v.random_enabled_pair(np.random.default_rng(0))

@@ -1,0 +1,59 @@
+"""Unit tests for the XY dimension-order router."""
+
+import numpy as np
+
+from repro.core import label_mesh
+from repro.faults import FaultSet
+from repro.mesh import Mesh2D
+from repro.routing import DropReason, FaultModelView, XYRouter
+
+
+def fault_free_view(w=8, h=8):
+    m = Mesh2D(w, h)
+    return FaultModelView(m, np.ones((w, h), dtype=bool))
+
+
+class TestFaultFree:
+    def test_delivers_minimal_everywhere(self):
+        v = fault_free_view(5, 5)
+        router = XYRouter(v)
+        for s in [(0, 0), (4, 4), (2, 1)]:
+            for d in [(3, 3), (0, 4), (4, 0)]:
+                r = router.route(s, d)
+                assert r.delivered and r.is_minimal
+
+    def test_path_is_x_then_y(self):
+        router = XYRouter(fault_free_view())
+        r = router.route((0, 0), (2, 2))
+        assert r.path == ((0, 0), (1, 0), (2, 0), (2, 1), (2, 2))
+
+    def test_self_route(self):
+        router = XYRouter(fault_free_view())
+        r = router.route((3, 3), (3, 3))
+        assert r.delivered and r.hops == 0
+
+
+class TestWithFaults:
+    def _blocked_view(self):
+        m = Mesh2D(8, 8)
+        res = label_mesh(m, FaultSet.from_coords((8, 8), [(3, 0), (3, 1), (4, 0), (4, 1)]))
+        return FaultModelView.from_regions(res)
+
+    def test_drops_at_block(self):
+        v = self._blocked_view()
+        router = XYRouter(v)
+        r = router.route((0, 0), (7, 0))
+        assert not r.delivered
+        assert r.reason is DropReason.BLOCKED
+        assert r.path[-1] == (2, 0)  # stopped right before the region
+
+    def test_unaffected_routes_still_deliver(self):
+        v = self._blocked_view()
+        router = XYRouter(v)
+        assert router.route((0, 7), (7, 7)).delivered
+
+    def test_bad_endpoints(self):
+        v = self._blocked_view()
+        router = XYRouter(v)
+        assert router.route((3, 0), (7, 7)).reason is DropReason.BAD_ENDPOINT
+        assert router.route((0, 0), (3, 0)).reason is DropReason.BAD_ENDPOINT

@@ -1,0 +1,130 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestLabelCommand:
+    def test_basic_run(self, capsys):
+        rc = main(["label", "--size", "16", "--faults", "8", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "num_blocks" in out and "enabled_ratio" in out
+
+    def test_verify_flag(self, capsys):
+        rc = main(
+            ["label", "--size", "16", "--faults", "8", "--seed", "1", "--verify"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[ok ] theorem 1" in out
+
+    def test_definition_and_backend_options(self, capsys):
+        rc = main(
+            [
+                "label",
+                "--size",
+                "12",
+                "--faults",
+                "5",
+                "--definition",
+                "2a",
+                "--backend",
+                "distributed",
+                "--no-art",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "definition: 2a" in out
+        assert "backend: distributed" in out
+
+    def test_torus_and_clustered(self, capsys):
+        rc = main(
+            ["label", "--size", "16", "--faults", "10", "--torus", "--clustered"]
+        )
+        assert rc == 0
+
+    def test_svg_export(self, tmp_path, capsys):
+        target = tmp_path / "out.svg"
+        rc = main(
+            ["label", "--size", "10", "--faults", "4", "--svg", str(target)]
+        )
+        assert rc == 0
+        assert target.read_text().startswith("<?xml")
+
+
+class TestOtherCommands:
+    def test_fig5_small(self, capsys):
+        rc = main(
+            [
+                "fig5",
+                "--size",
+                "20",
+                "--trials",
+                "2",
+                "--f-max",
+                "10",
+                "--f-step",
+                "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rounds(FB)" in out
+
+    def test_route(self, capsys):
+        rc = main(
+            ["route", "--size", "16", "--faults", "10", "--pairs", "30", "--seed", "2"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bfs-oracle" in out and "f-ring" in out
+
+    def test_route_rejects_torus(self, capsys):
+        rc = main(["route", "--size", "16", "--torus"])
+        assert rc == 2
+
+    def test_density(self, capsys):
+        rc = main(
+            [
+                "density",
+                "--size",
+                "16",
+                "--trials",
+                "2",
+                "--densities",
+                "0.0",
+                "0.05",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "largest blk" in out
+
+    def test_partition(self, capsys):
+        rc = main(["partition", "--size", "16", "--faults", "6", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "single polygon" in out
+
+    def test_partition_no_faults(self, capsys):
+        rc = main(["partition", "--size", "8", "--faults", "0"])
+        assert rc == 0
+        assert "no faults" in capsys.readouterr().out

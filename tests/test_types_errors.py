@@ -1,0 +1,73 @@
+"""Unit tests for the shared type helpers and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import errors
+from repro.types import as_bool_grid, manhattan
+
+
+class TestManhattan:
+    def test_basic(self):
+        assert manhattan((0, 0), (3, 4)) == 7
+        assert manhattan((3, 4), (0, 0)) == 7
+        assert manhattan((2, 2), (2, 2)) == 0
+
+
+class TestAsBoolGrid:
+    def test_coerces_lists(self):
+        g = as_bool_grid([[1, 0], [0, 1]])
+        assert g.dtype == bool and g[0, 0] and not g[0, 1]
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            as_bool_grid(np.zeros((2, 2)), shape=(3, 3))
+
+    def test_shape_check_passes(self):
+        g = as_bool_grid(np.zeros((2, 3)), shape=(2, 3))
+        assert g.shape == (2, 3)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.TopologyError,
+            errors.FaultModelError,
+            errors.ProtocolError,
+            errors.ConvergenceError,
+            errors.GeometryError,
+            errors.RoutingError,
+            errors.PartitionError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.GeometryError("boom")
+
+
+class TestPackageSurface:
+    def test_version_exposed(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_public_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_doctest_like_quickstart(self):
+        # The README/__init__ quickstart, executed literally.
+        import numpy as np
+
+        from repro import Mesh2D, label_mesh, uniform_random
+        from repro.core import theorems
+
+        mesh = Mesh2D(100, 100)
+        faults = uniform_random(mesh.shape, 60, np.random.default_rng(7))
+        result = label_mesh(mesh, faults)
+        assert all(c.holds for c in theorems.check_all(result))

@@ -1,0 +1,108 @@
+"""Unit tests for ASCII and SVG rendering."""
+
+from repro.core import label_mesh
+from repro.faults import FaultSet
+from repro.geometry import CellSet, shapes
+from repro.mesh import Mesh2D
+from repro.viz import render_cells, render_result, svg_of_cells, svg_of_result
+
+
+def paper_result():
+    return label_mesh(
+        Mesh2D(6, 6), FaultSet.from_coords((6, 6), [(1, 3), (2, 1), (3, 2)])
+    )
+
+
+class TestAsciiResult:
+    def test_glyph_counts_match_labels(self):
+        r = paper_result()
+        art = render_result(r, axes=False)
+        assert art.count("#") == 3       # faults
+        assert art.count("+") == 6       # activated
+        assert art.count("x") == 0       # nothing left disabled here
+        assert art.count(".") == 27      # safe
+
+    def test_origin_is_southwest(self):
+        r = paper_result()
+        lines = render_result(r, axes=False).splitlines()
+        # Fault (2, 1) must appear in the second line from the bottom,
+        # third column.
+        assert lines[-2][2] == "#"
+
+    def test_axes_ruler(self):
+        r = paper_result()
+        art = render_result(r)
+        assert art.splitlines()[-1].strip() == "012345"
+
+    def test_glyph_override(self):
+        from repro.core import NodeStatus
+
+        r = paper_result()
+        art = render_result(r, glyphs={NodeStatus.FAULTY: "F"}, axes=False)
+        assert art.count("F") == 3 and art.count("#") == 0
+
+
+class TestAsciiCells:
+    def test_render_cells_with_highlight(self):
+        cells = shapes.rectangle((6, 6), (1, 1), 3, 2)
+        hl = CellSet.from_coords((6, 6), [(2, 2)])
+        art = render_cells(cells, highlight=hl, axes=False)
+        assert art.count("@") == 1
+        assert art.count("#") == 5
+
+
+class TestSvg:
+    def test_result_svg_well_formed(self):
+        svg = svg_of_result(paper_result(), scale=10)
+        assert svg.startswith("<?xml")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<rect") == 36 + 0  # one per cell
+        assert "<polygon" in svg  # block/region outlines
+
+    def test_result_svg_outline_toggles(self):
+        plain = svg_of_result(
+            paper_result(), outline_blocks=False, outline_regions=False
+        )
+        assert "<polygon" not in plain
+
+    def test_cells_svg_layers(self):
+        a = shapes.rectangle((8, 8), (1, 1), 2, 2)
+        b = shapes.rectangle((8, 8), (5, 5), 2, 2)
+        svg = svg_of_cells([(a, "#ff0000"), (b, "#00ff00")], (8, 8))
+        assert svg.count("#ff0000") == 4
+        assert svg.count("#00ff00") == 4
+
+    def test_svg_dimensions_scale(self):
+        svg = svg_of_cells([], (4, 3), scale=10)
+        assert 'width="40"' in svg and 'height="30"' in svg
+
+
+class TestSvgRoute:
+    def _route_setup(self):
+        from repro.routing import FaultModelView, WallRouter
+
+        result = paper_result()
+        view = FaultModelView.from_regions(result)
+        route = WallRouter(view).route((0, 0), (5, 5))
+        return result, route
+
+    def test_route_overlay_present(self):
+        from repro.viz import svg_of_route
+
+        result, route = self._route_setup()
+        svg = svg_of_route(result, route.path)
+        assert "<polyline" in svg and svg.count("<circle") == 2
+        assert svg.rstrip().endswith("</svg>")
+
+    def test_single_node_path(self):
+        from repro.viz import svg_of_route
+
+        result, _ = self._route_setup()
+        svg = svg_of_route(result, [(2, 2)])
+        assert "<polyline" not in svg and svg.count("<circle") == 2
+
+    def test_empty_path_is_base_document(self):
+        from repro.viz import svg_of_result, svg_of_route
+
+        result, _ = self._route_setup()
+        assert svg_of_route(result, []) == svg_of_result(result)
