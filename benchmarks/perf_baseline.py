@@ -1,0 +1,236 @@
+#!/usr/bin/env python
+"""Machine-readable performance baseline: ``python benchmarks/perf_baseline.py``.
+
+Times the hot paths this repository optimises —
+
+* phase-1 / phase-2 fixpoints, dense Jacobi vs sparse frontier kernels
+  (on the acceptance workload: a 500x500 mesh with 100 clustered
+  faults),
+* the fabric engine, full stepping vs active-set stepping,
+* a Figure-5-style sweep slice, serial vs process-parallel,
+
+verifies that every fast path reproduces the reference results exactly,
+and writes ``BENCH_perf.json`` at the repository root so successive PRs
+leave a machine-readable perf trajectory.  ``--quick`` shrinks every
+workload for CI smoke runs (same schema, same checks).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without installation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro._version import __version__
+from repro.analysis.sweep import sweep
+from repro.core.distributed import distributed_enabled, distributed_unsafe
+from repro.core.enabling import enabled_fixpoint
+from repro.core.frontier import enabled_fixpoint_sparse, unsafe_fixpoint_sparse
+from repro.core.pipeline import label_mesh
+from repro.core.safety import unsafe_fixpoint
+from repro.core.status import SafetyDefinition
+from repro.faults.generators import clustered, uniform_random
+from repro.mesh.topology import Mesh2D
+
+
+def _best_of(fn, repeats: int = 3):
+    """Best wall-clock of ``repeats`` runs, plus the last return value."""
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _pair(name: str, slow_s: float, fast_s: float, extra=None) -> dict:
+    entry = {
+        "baseline_s": round(slow_s, 6),
+        "optimized_s": round(fast_s, 6),
+        "speedup": round(slow_s / fast_s, 3) if fast_s > 0 else None,
+    }
+    if extra:
+        entry.update(extra)
+    print(
+        f"{name:>28}: {slow_s * 1e3:9.2f} ms -> {fast_s * 1e3:9.2f} ms "
+        f"({entry['speedup']}x)"
+    )
+    return entry
+
+
+def _sweep_metric(params, rng):
+    """Module-level so the parallel sweep can pickle it."""
+    size, f = params
+    topo = Mesh2D(size, size)
+    faults = uniform_random(topo.shape, int(f), rng)
+    result = label_mesh(topo, faults, SafetyDefinition.DEF_2B)
+    return {
+        "rounds1": float(result.rounds_phase1),
+        "rounds2": float(result.rounds_phase2),
+        "enabled_ratio": float(result.enabled_ratio),
+    }
+
+
+def bench_kernels(size: int, f: int, repeats: int) -> dict:
+    """Dense vs frontier fixpoints on clustered faults (phase 1 and 2)."""
+    topo = Mesh2D(size, size)
+    faults = clustered(
+        topo.shape, f, np.random.default_rng(20010423), clusters=3, spread=2.0
+    )
+    faulty = faults.mask
+
+    t_dense1, (unsafe_d, r1_d) = _best_of(
+        lambda: unsafe_fixpoint(topo, faulty), repeats
+    )
+    t_front1, (unsafe_f, r1_f) = _best_of(
+        lambda: unsafe_fixpoint_sparse(topo, faulty), repeats
+    )
+    assert np.array_equal(unsafe_d, unsafe_f) and r1_d == r1_f, (
+        "frontier phase-1 diverged from dense"
+    )
+
+    t_dense2, (en_d, r2_d) = _best_of(
+        lambda: enabled_fixpoint(topo, faulty, unsafe_d), repeats
+    )
+    t_front2, (en_f, r2_f) = _best_of(
+        lambda: enabled_fixpoint_sparse(topo, faulty, unsafe_d), repeats
+    )
+    assert np.array_equal(en_d, en_f) and r2_d == r2_f, (
+        "frontier phase-2 diverged from dense"
+    )
+
+    t_pipe_d, _ = _best_of(
+        lambda: label_mesh(topo, faults, method="dense"), repeats
+    )
+    t_pipe_f, _ = _best_of(
+        lambda: label_mesh(topo, faults, method="frontier"), repeats
+    )
+
+    return {
+        "mesh": f"{size}x{size}",
+        "faults": f,
+        "fault_model": "clustered",
+        "rounds_phase1": r1_d,
+        "rounds_phase2": r2_d,
+        "phase1": _pair("phase1 dense vs frontier", t_dense1, t_front1),
+        "phase2": _pair("phase2 dense vs frontier", t_dense2, t_front2),
+        "pipeline": _pair("pipeline dense vs frontier", t_pipe_d, t_pipe_f),
+    }
+
+
+def bench_fabric(size: int, f: int, repeats: int) -> dict:
+    """Fabric engine: full stepping vs active-set stepping, both phases."""
+    topo = Mesh2D(size, size)
+    faults = clustered(
+        topo.shape, f, np.random.default_rng(42), clusters=3, spread=2.0
+    )
+
+    def run(active: bool):
+        unsafe, s1, _ = distributed_unsafe(topo, faults, active_set=active)
+        enabled, s2, _ = distributed_enabled(topo, faults, unsafe, active_set=active)
+        return unsafe, enabled, s1, s2
+
+    t_full, (u_full, e_full, s1_full, s2_full) = _best_of(lambda: run(False), repeats)
+    t_active, (u_act, e_act, s1_act, s2_act) = _best_of(lambda: run(True), repeats)
+    assert np.array_equal(u_full, u_act) and np.array_equal(e_full, e_act), (
+        "active-set engine diverged from full stepping"
+    )
+    assert (
+        s1_full.rounds == s1_act.rounds
+        and s2_full.rounds == s2_act.rounds
+        and s1_full.messages_per_round == s1_act.messages_per_round
+        and s2_full.messages_per_round == s2_act.messages_per_round
+    ), "active-set engine statistics diverged from full stepping"
+
+    return {
+        "mesh": f"{size}x{size}",
+        "faults": f,
+        "fault_model": "clustered",
+        "engine": _pair(
+            "fabric full vs active-set",
+            t_full,
+            t_active,
+            extra={"rounds_phase1": s1_full.rounds, "rounds_phase2": s2_full.rounds},
+        ),
+    }
+
+
+def bench_sweep(size: int, f_values, trials: int, jobs: int) -> dict:
+    """Sweep slice: serial vs process-parallel, identical results required."""
+    values = [(size, f) for f in f_values]
+
+    t0 = time.perf_counter()
+    serial = sweep(values, _sweep_metric, trials=trials, seed=7)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = sweep(values, _sweep_metric, trials=trials, seed=7, jobs=jobs)
+    t_parallel = time.perf_counter() - t0
+
+    assert serial == parallel, "parallel sweep diverged from serial"
+    return {
+        "mesh": f"{size}x{size}",
+        "f_values": list(f_values),
+        "trials": trials,
+        "jobs": jobs,
+        "sweep": _pair("sweep serial vs parallel", t_serial, t_parallel),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small workloads for CI smoke runs"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2, help="workers for the parallel sweep leg"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_perf.json"),
+        help="output path (default: BENCH_perf.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        kernel_size, kernel_f, repeats = 128, 40, 2
+        fabric_size, fabric_f = 20, 24
+        sweep_size, sweep_fs, sweep_trials = 48, [0, 16], 2
+    else:
+        kernel_size, kernel_f, repeats = 500, 100, 3
+        fabric_size, fabric_f = 32, 48
+        sweep_size, sweep_fs, sweep_trials = 100, [0, 25, 50], 4
+
+    report = {
+        "schema": 1,
+        "generated_by": "benchmarks/perf_baseline.py",
+        "version": __version__,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "kernels": bench_kernels(kernel_size, kernel_f, repeats),
+        "fabric": bench_fabric(fabric_size, fabric_f, repeats),
+        "sweep": bench_sweep(sweep_size, sweep_fs, sweep_trials, args.jobs),
+    }
+
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,7 @@ Figure 5; the rest is the generic machinery the benchmarks share.
 """
 
 from repro.analysis.density import DensityPoint, density_study
-from repro.analysis.experiment import run_trials, trial_rngs
+from repro.analysis.experiment import run_trials, trial_rng, trial_rngs
 from repro.analysis.fig5 import DEFAULT_F_VALUES, Fig5Curve, Fig5Point, run_fig5
 from repro.analysis.stats import Summary, summarize
 from repro.analysis.sweep import SweepPoint, sweep
@@ -24,5 +24,6 @@ __all__ = [
     "run_trials",
     "summarize",
     "sweep",
+    "trial_rng",
     "trial_rngs",
 ]

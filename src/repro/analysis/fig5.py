@@ -22,12 +22,13 @@ definition (and optionally the topology) and reports every combination.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.analysis.experiment import trial_rngs
+from repro.analysis.experiment import trial_rng
 from repro.analysis.stats import Summary, summarize
 from repro.analysis.tables import format_table
 from repro.core.pipeline import label_mesh
@@ -89,12 +90,39 @@ class Fig5Curve:
         )
 
 
+#: Decorrelates the per-f root seeds (same constant as always).
+_F_SEED_STRIDE = 7919
+
+#: One trial's contribution: (rounds1, rounds2, per-block ratios, #blocks, #regions).
+_TrialRow = Tuple[float, float, List[float], float, float]
+
+
+def _fig5_trial(
+    task: Tuple[Topology, SafetyDefinition, str, int, int, int, int, int],
+) -> _TrialRow:
+    topo, definition, method, f, fi, ti, trials, seed = task
+    rng = trial_rng(trials, seed + _F_SEED_STRIDE * fi, ti)
+    faults = uniform_random(topo.shape, f, rng)
+    result = label_mesh(
+        topo, faults, definition, backend="vectorized", method=method
+    )
+    return (
+        float(result.rounds_phase1),
+        float(result.rounds_phase2),
+        result.per_block_enabled_ratios(),
+        float(len(result.blocks)),
+        float(len(result.regions)),
+    )
+
+
 def run_fig5(
     definition: SafetyDefinition = SafetyDefinition.DEF_2B,
     topology: Topology | None = None,
     f_values: Sequence[int] = DEFAULT_F_VALUES,
     trials: int = 20,
     seed: int = 20010423,
+    method: str = "auto",
+    jobs: int = 1,
 ) -> Fig5Curve:
     """Run the Figure-5 sweep for one definition/topology combination.
 
@@ -110,8 +138,28 @@ def run_fig5(
         Independent fault patterns per ``f``.
     seed:
         Root seed; each (f, trial) pair gets its own spawned stream.
+    method:
+        Vectorized labeling kernel (see
+        :func:`repro.core.pipeline.label_mesh`).
+    jobs:
+        Worker processes for the (f, trial) grid; any value yields
+        identical results because every cell's generator is derived
+        from its grid position, not the schedule.
     """
     topo = topology if topology is not None else Mesh2D(100, 100)
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    tasks = [
+        (topo, definition, method, f, fi, ti, trials, seed)
+        for fi, f in enumerate(f_values)
+        for ti in range(trials)
+    ]
+    if jobs <= 1:
+        rows = [_fig5_trial(t) for t in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            rows = list(pool.map(_fig5_trial, tasks))
+
     points: List[Fig5Point] = []
     for fi, f in enumerate(f_values):
         rounds_fb: List[float] = []
@@ -119,14 +167,12 @@ def run_fig5(
         ratios: List[float] = []
         blocks: List[float] = []
         regions: List[float] = []
-        for rng in trial_rngs(trials, seed + 7919 * fi):
-            faults = uniform_random(topo.shape, f, rng)
-            result = label_mesh(topo, faults, definition, backend="vectorized")
-            rounds_fb.append(float(result.rounds_phase1))
-            rounds_dr.append(float(result.rounds_phase2))
-            ratios.extend(result.per_block_enabled_ratios())
-            blocks.append(float(len(result.blocks)))
-            regions.append(float(len(result.regions)))
+        for r1, r2, block_ratios, nb, nr in rows[fi * trials : (fi + 1) * trials]:
+            rounds_fb.append(r1)
+            rounds_dr.append(r2)
+            ratios.extend(block_ratios)
+            blocks.append(nb)
+            regions.append(nr)
         points.append(
             Fig5Point(
                 f=f,

@@ -4,19 +4,32 @@ A convenience wrapper used by the ablation benchmarks: evaluate a
 metric function over a grid of parameter values with per-point trial
 replication, returning rows ready for
 :func:`repro.analysis.tables.format_table`.
+
+``jobs > 1`` distributes the (value, trial) grid over a process pool.
+Every cell's generator is derived from ``(seed, value_index,
+trial_index)`` alone, so results are bit-identical to a serial sweep
+regardless of scheduling; aggregation happens in deterministic (value,
+trial) order either way.  The metric function must be picklable (a
+module-level function) when ``jobs > 1``.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.analysis.experiment import trial_rngs
+from repro.analysis.experiment import trial_rng, trial_rngs
 from repro.analysis.stats import Summary, summarize
 
 __all__ = ["SweepPoint", "sweep"]
+
+#: Decorrelates the per-value root seeds (same constant as always).
+_VALUE_SEED_STRIDE = 104729
+
+MetricFn = Callable[[object, np.random.Generator], Dict[str, float]]
 
 
 @dataclass(frozen=True)
@@ -27,23 +40,49 @@ class SweepPoint:
     metrics: Dict[str, Summary]
 
 
+def _eval_cell(task: Tuple[MetricFn, object, int, int, int, int]) -> Dict[str, float]:
+    fn, value, vi, ti, trials, seed = task
+    rng = trial_rng(trials, seed + _VALUE_SEED_STRIDE * vi, ti)
+    return fn(value, rng)
+
+
 def sweep(
     values: Sequence[object],
-    fn: Callable[[object, np.random.Generator], Dict[str, float]],
+    fn: MetricFn,
     trials: int = 10,
     seed: int = 0,
+    jobs: int = 1,
 ) -> List[SweepPoint]:
     """Evaluate ``fn(value, rng) -> {metric: number}`` over a value grid.
 
     Each (value, trial) combination receives an independent spawned
     generator; metrics are summarised per value.  Metric keys may vary
     between trials (missing keys are simply absent from that sample).
+    ``jobs > 1`` evaluates the grid on a process pool with identical
+    results (see module docstring).
     """
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    if jobs <= 1:
+        rows = [
+            fn(value, rng)
+            for vi, value in enumerate(values)
+            for rng in trial_rngs(trials, seed + _VALUE_SEED_STRIDE * vi)
+        ]
+    else:
+        tasks = [
+            (fn, value, vi, ti, trials, seed)
+            for vi, value in enumerate(values)
+            for ti in range(trials)
+        ]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            rows = list(pool.map(_eval_cell, tasks))
+
     points: List[SweepPoint] = []
     for vi, value in enumerate(values):
         samples: Dict[str, List[float]] = {}
-        for rng in trial_rngs(trials, seed + 104729 * vi):
-            for key, num in fn(value, rng).items():
+        for row in rows[vi * trials : (vi + 1) * trials]:
+            for key, num in row.items():
                 samples.setdefault(key, []).append(float(num))
         points.append(
             SweepPoint(

@@ -55,6 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="clustered faults instead of uniform random",
         )
+        p.add_argument(
+            "--method",
+            choices=["dense", "frontier", "auto"],
+            default="auto",
+            help="vectorized labeling kernel (frontier = sparse active-set)",
+        )
 
     p_label = sub.add_parser("label", help="run the two-phase labeling")
     common(p_label)
@@ -81,6 +87,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--f-max", type=int, default=100, help="largest fault count in the sweep"
     )
     p_fig5.add_argument("--f-step", type=int, default=10)
+    p_fig5.add_argument(
+        "--method",
+        choices=["dense", "frontier", "auto"],
+        default="auto",
+        help="vectorized labeling kernel (frontier = sparse active-set)",
+    )
+    p_fig5.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (same results for any value)",
+    )
 
     p_route = sub.add_parser("route", help="compare routing under both models")
     common(p_route)
@@ -131,7 +149,9 @@ def _cmd_label(args) -> int:
 
     topo = _topology(args)
     faults = _faults(args, topo.shape)
-    result = label_mesh(topo, faults, _definition(args), backend=args.backend)
+    result = label_mesh(
+        topo, faults, _definition(args), backend=args.backend, method=args.method
+    )
 
     if not args.no_art and args.size <= 60:
         print(render_result(result))
@@ -165,6 +185,8 @@ def _cmd_fig5(args) -> int:
         f_values=range(0, args.f_max + 1, args.f_step),
         trials=args.trials,
         seed=args.seed,
+        method=args.method,
+        jobs=args.jobs,
     )
     print(curve.as_table())
     return 0

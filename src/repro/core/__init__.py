@@ -21,6 +21,7 @@ from repro.core.enabling import (
     enabled_step,
     recursive_enable_fixpoints,
 )
+from repro.core.frontier import enabled_fixpoint_sparse, unsafe_fixpoint_sparse
 from repro.core.maintenance import MaintainedLabeling, UpdateReport
 from repro.core.pipeline import LabelingResult, label_mesh
 from repro.core.protocols import EnableProgram, SafetyProgram
@@ -45,6 +46,7 @@ __all__ = [
     "distributed_enabled",
     "distributed_unsafe",
     "enabled_fixpoint",
+    "enabled_fixpoint_sparse",
     "enabled_step",
     "extract_blocks",
     "extract_regions",
@@ -52,5 +54,6 @@ __all__ = [
     "recursive_enable_fixpoints",
     "theorems",
     "unsafe_fixpoint",
+    "unsafe_fixpoint_sparse",
     "unsafe_step",
 ]

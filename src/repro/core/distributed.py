@@ -38,8 +38,13 @@ def distributed_unsafe(
     definition: SafetyDefinition = SafetyDefinition.DEF_2B,
     chatty: bool = False,
     record_trace: bool = False,
+    active_set: bool = True,
 ) -> Tuple[BoolGrid, RunStats, object]:
     """Run phase 1 as a distributed protocol.
+
+    ``active_set=False`` forces the engine to step every node every
+    round (identical results; see
+    :class:`~repro.fabric.engine.SynchronousEngine`).
 
     Returns
     -------
@@ -54,6 +59,7 @@ def distributed_unsafe(
         faulty_set,
         factory=lambda ctx: SafetyProgram(ctx, definition, chatty=chatty),
         record_trace=record_trace,
+        active_set=active_set,
     )
     result = engine.run()
     unsafe = faults.mask.copy()  # faulty nodes are unsafe by definition
@@ -69,6 +75,7 @@ def distributed_enabled(
     unsafe: BoolGrid,
     chatty: bool = False,
     record_trace: bool = False,
+    active_set: bool = True,
 ) -> Tuple[BoolGrid, RunStats, object]:
     """Run phase 2 as a distributed protocol, seeded by phase-1 labels.
 
@@ -93,6 +100,7 @@ def distributed_enabled(
             ctx, unsafe=bool(unsafe[ctx.coord]), chatty=chatty
         ),
         record_trace=record_trace,
+        active_set=active_set,
     )
     result = engine.run()
     enabled = np.zeros(topology.shape, dtype=bool)

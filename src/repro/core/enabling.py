@@ -48,15 +48,23 @@ def enabled_step(
     topology: Topology,
     faulty: BoolGrid,
     enabled: BoolGrid,
+    out: BoolGrid | None = None,
 ) -> BoolGrid:
     """One synchronous round of the Definition-3 enable rule.
 
     A nonfaulty, currently disabled node becomes enabled when at least
     two of its neighbours are enabled (ghost ring counts as enabled).
-    Enabled nodes stay enabled; faulty nodes never enable.
+    Enabled nodes stay enabled; faulty nodes never enable.  ``out``,
+    when given, receives the result in place (it must not alias
+    ``enabled`` or ``faulty``), letting the fixpoint loop ping-pong two
+    buffers instead of allocating a fresh grid every round.
     """
     count = _enabled_neighbor_count(topology, enabled)
-    return (enabled | (count >= 2)) & ~faulty
+    if out is None:
+        return (enabled | (count >= 2)) & ~faulty
+    np.logical_or(enabled, count >= 2, out=out)
+    out &= ~faulty
+    return out
 
 
 def enabled_fixpoint(
@@ -91,12 +99,19 @@ def enabled_fixpoint(
         raise ConvergenceError("phase-1 labels invalid: a faulty node is safe")
     budget = max_rounds if max_rounds is not None else (topology.num_nodes + 2)
     enabled = ~unsafe  # all safe nodes enabled, all unsafe nodes disabled
+    scratch = np.empty_like(enabled)
+    count = int(np.count_nonzero(enabled))
     rounds = 0
     for _ in range(budget + 1):
-        nxt = enabled_step(topology, faulty, enabled)
-        if np.array_equal(nxt, enabled):
+        nxt = enabled_step(topology, faulty, enabled, out=scratch)
+        # Monotone rule: the enabled set only grows (faulty nodes were
+        # never enabled), so an unchanged popcount means an unchanged
+        # grid — no full array compare.
+        nxt_count = int(np.count_nonzero(nxt))
+        if nxt_count == count:
             return enabled, rounds
-        enabled = nxt
+        enabled, scratch = nxt, enabled
+        count = nxt_count
         rounds += 1
     raise ConvergenceError(
         f"enable labeling did not converge within {budget} rounds"

@@ -1,0 +1,171 @@
+"""Sparse frontier fixpoints — exact, asymptotically cheaper labeling.
+
+The dense Jacobi kernels in :mod:`repro.core.safety` and
+:mod:`repro.core.enabling` re-evaluate the rule at **every** cell every
+round, so one labeling costs ``O(N * rounds)`` even when only a handful
+of cells near the faults ever changes.  This module propagates from an
+*active frontier* instead: the only cells whose rule is evaluated in a
+round are the neighbours of the cells that flipped in the previous
+round (plus, in round 1, the cells the initial state could possibly
+fire).  Per round the work is proportional to the frontier size, so a
+whole labeling costs ``O(|affected area|)`` — on a 500x500 mesh with
+100 clustered faults that is thousands of cells instead of hundreds of
+millions of cell evaluations.
+
+Why this is **exact**, not an approximation: both rules are monotone
+local rules — a cell's next status is a monotone function of its
+neighbours' current statuses, and statuses only ever rise (safe ->
+unsafe in phase 1, disabled -> enabled in phase 2).  Suppose a cell
+fires under the state at the start of round ``r`` but not at the start
+of round ``r - 1``.  The state changed only at the cells that flipped
+in round ``r - 1``, and the rule reads only the four neighbours, so the
+cell is adjacent to a flip — i.e. in the frontier.  Inductively, every
+round the frontier contains *all* cells the dense step would flip, the
+per-round flip sets of the two schedules are identical, and therefore
+so are the fixpoint **and the round count** (a property test holds the
+two kernels to bit-identical labels and equal round counts).
+
+The kernels work on flat row-major indices (``i = x * height + y``)
+with vectorized gathers, so each round is a few NumPy ops on arrays of
+frontier size — no per-cell Python.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.status import SafetyDefinition
+from repro.errors import ConvergenceError
+from repro.mesh.topology import Topology
+from repro.types import BoolGrid
+
+__all__ = ["unsafe_fixpoint_sparse", "enabled_fixpoint_sparse"]
+
+
+def _neighbor_indices(
+    idx: np.ndarray, width: int, height: int, wraps: bool
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flat neighbour indices of the cells ``idx``, in (E, W, N, S) order.
+
+    Returns ``(nbrs, valid)``, both of shape ``(4, len(idx))``.  On a
+    torus every link exists and wraps; on a mesh, links leaving the grid
+    have ``valid`` False and their index clamped to 0 — the caller must
+    substitute the ghost label for them.
+    """
+    x = idx // height
+    y = idx - x * height
+    n = width * height
+    east, west, north, south = idx + height, idx - height, idx + 1, idx - 1
+    if wraps:
+        nbrs = np.stack(
+            [
+                np.where(x + 1 < width, east, east - n),
+                np.where(x > 0, west, west + n),
+                np.where(y + 1 < height, north, north - height),
+                np.where(y > 0, south, south + height),
+            ]
+        )
+        valid = np.ones(nbrs.shape, dtype=bool)
+    else:
+        valid = np.stack([x + 1 < width, x > 0, y + 1 < height, y > 0])
+        nbrs = np.where(valid, np.stack([east, west, north, south]), 0)
+    return nbrs, valid
+
+
+def unsafe_fixpoint_sparse(
+    topology: Topology,
+    faulty: BoolGrid,
+    definition: SafetyDefinition = SafetyDefinition.DEF_2B,
+    max_rounds: int | None = None,
+) -> Tuple[BoolGrid, int]:
+    """Phase-1 fixpoint by frontier propagation.
+
+    Drop-in replacement for :func:`repro.core.safety.unsafe_fixpoint`:
+    same signature, same fixpoint, same round count (see the module
+    docstring for the exactness argument), but per-round work scales
+    with the frontier instead of the grid.
+    """
+    if faulty.shape != topology.shape:
+        raise ConvergenceError(
+            f"fault mask shape {faulty.shape} != topology shape {topology.shape}"
+        )
+    budget = max_rounds if max_rounds is not None else (topology.num_nodes + 2)
+    width, height = topology.shape
+    wraps = topology.wraps
+    grid = np.ascontiguousarray(faulty, dtype=bool).copy()
+    unsafe = grid.ravel()  # writable view of the 2-D result
+
+    def still_safe_neighbors(flipped: np.ndarray) -> np.ndarray:
+        nbrs, valid = _neighbor_indices(flipped, width, height, wraps)
+        cand = np.unique(nbrs[valid])
+        return cand[~unsafe[cand]]
+
+    seeds = np.flatnonzero(unsafe)
+    frontier = still_safe_neighbors(seeds) if seeds.size else seeds
+    rounds = 0
+    while frontier.size:
+        if rounds > budget:
+            raise ConvergenceError(
+                f"unsafe labeling did not converge within {budget} rounds"
+            )
+        nbrs, valid = _neighbor_indices(frontier, width, height, wraps)
+        vals = unsafe[nbrs] & valid  # ghost neighbours are safe
+        if definition is SafetyDefinition.DEF_2A:
+            fire = vals.sum(axis=0, dtype=np.int8) >= 2
+        else:
+            fire = (vals[0] | vals[1]) & (vals[2] | vals[3])
+        flipped = frontier[fire]
+        if flipped.size == 0:
+            break
+        unsafe[flipped] = True
+        rounds += 1
+        frontier = still_safe_neighbors(flipped)
+    return grid, rounds
+
+
+def enabled_fixpoint_sparse(
+    topology: Topology,
+    faulty: BoolGrid,
+    unsafe: BoolGrid,
+    max_rounds: int | None = None,
+) -> Tuple[BoolGrid, int]:
+    """Phase-2 fixpoint by frontier propagation.
+
+    Drop-in replacement for
+    :func:`repro.core.enabling.enabled_fixpoint` with identical labels
+    and round counts.  Only disabled nonfaulty cells can ever change,
+    so they seed the first frontier; afterwards the frontier is the
+    still-disabled neighbourhood of the cells enabled last round.
+    """
+    if faulty.shape != topology.shape or unsafe.shape != topology.shape:
+        raise ConvergenceError("label plane shapes disagree with the topology")
+    if np.any(faulty & ~unsafe):
+        raise ConvergenceError("phase-1 labels invalid: a faulty node is safe")
+    budget = max_rounds if max_rounds is not None else (topology.num_nodes + 2)
+    width, height = topology.shape
+    wraps = topology.wraps
+    grid = ~np.ascontiguousarray(unsafe, dtype=bool)
+    enabled = grid.ravel()
+    faulty_flat = np.ascontiguousarray(faulty, dtype=bool).ravel()
+
+    frontier = np.flatnonzero(~enabled & ~faulty_flat)
+    rounds = 0
+    while frontier.size:
+        if rounds > budget:
+            raise ConvergenceError(
+                f"enable labeling did not converge within {budget} rounds"
+            )
+        nbrs, valid = _neighbor_indices(frontier, width, height, wraps)
+        vals = enabled[nbrs] | ~valid  # ghost neighbours are enabled
+        fire = vals.sum(axis=0, dtype=np.int8) >= 2
+        flipped = frontier[fire]
+        if flipped.size == 0:
+            break
+        enabled[flipped] = True
+        rounds += 1
+        nbrs, valid = _neighbor_indices(flipped, width, height, wraps)
+        cand = np.unique(nbrs[valid])
+        frontier = cand[~enabled[cand] & ~faulty_flat[cand]]
+    return grid, rounds

@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.blocks import FaultyBlock, extract_blocks
 from repro.core.distributed import distributed_enabled, distributed_unsafe
 from repro.core.enabling import enabled_fixpoint
+from repro.core.frontier import enabled_fixpoint_sparse, unsafe_fixpoint_sparse
 from repro.core.regions import DisabledRegion, extract_regions
 from repro.core.safety import unsafe_fixpoint
 from repro.core.status import LabelGrid, SafetyDefinition
@@ -41,6 +42,28 @@ from repro.mesh.topology import Topology
 __all__ = ["LabelingResult", "label_mesh"]
 
 Backend = Literal["vectorized", "distributed"]
+Method = Literal["dense", "frontier", "auto"]
+
+#: ``auto`` picks the frontier kernel when the cells that can change are
+#: at most this fraction of the grid; denser instances stay on the dense
+#: Jacobi kernel, whose whole-grid passes amortise better.
+_AUTO_SPARSITY = 8
+
+
+def _resolve_method(method: str, topology: Topology, active_cells: int) -> str:
+    """Pick the vectorized kernel for one phase.
+
+    ``active_cells`` is the number of cells that could possibly change
+    in the phase (faulty cells for phase 1, unsafe nonfaulty cells for
+    phase 2) — the quantity the frontier's work actually scales with.
+    """
+    if method == "auto":
+        if active_cells * _AUTO_SPARSITY <= topology.num_nodes:
+            return "frontier"
+        return "dense"
+    if method not in ("dense", "frontier"):
+        raise ValueError(f"unknown method {method!r}")
+    return method
 
 
 @dataclass(frozen=True)
@@ -62,6 +85,10 @@ class LabelingResult:
         quantities.
     backend:
         Which execution backend produced the labels.
+    method:
+        Which vectorized kernels ran: ``"dense"``, ``"frontier"``, or a
+        per-phase mix like ``"frontier+dense"`` chosen by ``"auto"``.
+        ``"n/a"`` for the distributed backend.
     stats_phase1, stats_phase2:
         Fabric message statistics (distributed backend only).
     unwrap_shift:
@@ -88,6 +115,7 @@ class LabelingResult:
     stats_phase1: Optional[RunStats] = field(default=None, compare=False)
     stats_phase2: Optional[RunStats] = field(default=None, compare=False)
     unwrap_shift: Tuple[int, int] = (0, 0)
+    method: str = field(default="dense", compare=False)
 
     @property
     def num_unsafe_nonfaulty(self) -> int:
@@ -130,6 +158,7 @@ class LabelingResult:
             "f": len(self.faults),
             "definition": self.definition.value,
             "backend": self.backend,
+            "method": self.method,
             "rounds_phase1": self.rounds_phase1,
             "rounds_phase2": self.rounds_phase2,
             "num_blocks": len(self.blocks),
@@ -146,6 +175,7 @@ def label_mesh(
     definition: SafetyDefinition = SafetyDefinition.DEF_2B,
     backend: Backend = "vectorized",
     chatty: bool = False,
+    method: Method = "auto",
 ) -> LabelingResult:
     """Run the full two-phase pipeline.
 
@@ -163,6 +193,13 @@ def label_mesh(
     chatty:
         Distributed backend only: re-broadcast status every round, as in
         the paper's literal pseudo-code, instead of only on change.
+    method:
+        Vectorized backend only: ``"dense"`` runs the whole-grid Jacobi
+        kernels, ``"frontier"`` the sparse frontier kernels
+        (:mod:`repro.core.frontier` — identical labels and round
+        counts, work proportional to the affected area), and ``"auto"``
+        (default) picks per phase by the sparsity of the instance.
+        Ignored by the distributed backend.
 
     Returns
     -------
@@ -174,8 +211,19 @@ def label_mesh(
         )
     faulty = faults.mask
     if backend == "vectorized":
-        unsafe, rounds1 = unsafe_fixpoint(topology, faulty, definition)
-        enabled, rounds2 = enabled_fixpoint(topology, faulty, unsafe)
+        m1 = _resolve_method(method, topology, int(np.count_nonzero(faulty)))
+        if m1 == "frontier":
+            unsafe, rounds1 = unsafe_fixpoint_sparse(topology, faulty, definition)
+        else:
+            unsafe, rounds1 = unsafe_fixpoint(topology, faulty, definition)
+        m2 = _resolve_method(
+            method, topology, int(np.count_nonzero(unsafe & ~faulty))
+        )
+        if m2 == "frontier":
+            enabled, rounds2 = enabled_fixpoint_sparse(topology, faulty, unsafe)
+        else:
+            enabled, rounds2 = enabled_fixpoint(topology, faulty, unsafe)
+        method_used = m1 if m1 == m2 else f"{m1}+{m2}"
         stats1 = stats2 = None
     elif backend == "distributed":
         unsafe, stats1, _ = distributed_unsafe(
@@ -185,6 +233,7 @@ def label_mesh(
             topology, faults, unsafe, chatty=chatty
         )
         rounds1, rounds2 = stats1.rounds, stats2.rounds
+        method_used = "n/a"
     else:
         raise ValueError(f"unknown backend {backend!r}")
 
@@ -213,6 +262,7 @@ def label_mesh(
         stats_phase1=stats1,
         stats_phase2=stats2,
         unwrap_shift=unwrap_shift,
+        method=method_used,
     )
 
 

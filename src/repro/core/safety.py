@@ -39,12 +39,16 @@ def unsafe_step(
     faulty: BoolGrid,
     unsafe: BoolGrid,
     definition: SafetyDefinition,
+    out: BoolGrid | None = None,
 ) -> BoolGrid:
     """One synchronous round of the unsafe rule.
 
     Returns the next unsafe mask given the current one.  Faulty nodes
     stay unsafe; nonfaulty nodes apply Definition 2a or 2b to their
-    neighbours' *current* labels.
+    neighbours' *current* labels.  ``out``, when given, receives the
+    result in place (it must not alias ``unsafe`` or ``faulty``) so the
+    fixpoint loop can ping-pong two buffers instead of allocating a
+    fresh grid every round.
     """
     east, west, north, south = topology.neighbor_views(unsafe, fill=False)
     if definition is SafetyDefinition.DEF_2A:
@@ -59,7 +63,11 @@ def unsafe_step(
     else:
         # Unsafe if an unsafe neighbour in both dimensions.
         newly = (east | west) & (north | south)
-    return unsafe | newly | faulty
+    if out is None:
+        return unsafe | newly | faulty
+    np.logical_or(unsafe, newly, out=out)
+    np.logical_or(out, faulty, out=out)
+    return out
 
 
 def unsafe_fixpoint(
@@ -105,12 +113,18 @@ def unsafe_fixpoint(
         )
     budget = max_rounds if max_rounds is not None else (topology.num_nodes + 2)
     unsafe = faulty.copy()
+    scratch = np.empty_like(unsafe)
+    count = int(np.count_nonzero(unsafe))
     rounds = 0
     for _ in range(budget + 1):
-        nxt = unsafe_step(topology, faulty, unsafe, definition)
-        if np.array_equal(nxt, unsafe):
+        nxt = unsafe_step(topology, faulty, unsafe, definition, out=scratch)
+        # Monotone rule: the unsafe set only grows, so an unchanged
+        # popcount means an unchanged grid — no full array compare.
+        nxt_count = int(np.count_nonzero(nxt))
+        if nxt_count == count:
             return unsafe, rounds
-        unsafe = nxt
+        unsafe, scratch = nxt, unsafe
+        count = nxt_count
         rounds += 1
     raise ConvergenceError(
         f"unsafe labeling did not converge within {budget} rounds"

@@ -13,6 +13,24 @@ iteration count of the paper's ``repeat ... until no status change``
 loops (and, by construction, the Jacobi iteration count of the
 vectorized fixpoints in :mod:`repro.core` — a property test holds the
 two backends to that).
+
+Active-set stepping
+-------------------
+By default the engine only *steps* nodes that either received a message
+this round or changed state last round; everyone else is skipped.  For
+any protocol where a quiet node (no change last round) with an empty
+inbox is a no-op — true of every monotone status protocol in this
+repository, whose update rules are deterministic functions of the
+node's own status and its last-heard neighbour statuses — skipping is
+**exact**: the skipped node would have reported no change and sent
+nothing, so round counts, per-round change counts, message statistics
+and final snapshots are all identical to full stepping (property
+tested).  The win is asymptotic: once a labeling wave has passed, the
+quiescent interior costs nothing, so a round's cost tracks the wave
+front instead of the node count.  ``active_set=False`` restores literal
+full stepping; ``debug_full_check=True`` steps the skipped nodes too
+and raises if any of them was *not* a no-op, which is how the property
+suite certifies new protocols for active-set execution.
 """
 
 from __future__ import annotations
@@ -30,6 +48,8 @@ __all__ = ["SynchronousEngine", "EngineResult"]
 
 #: Builds the per-node program from its context.
 ProgramFactory = Callable[[NodeContext], NodeProgram]
+
+_EMPTY_INBOX: Dict[Coord, Any] = {}
 
 
 class EngineResult:
@@ -66,6 +86,17 @@ class SynchronousEngine:
     record_trace:
         When True, snapshot every node after every round (expensive;
         meant for debugging and the examples' visualisations).
+    active_set:
+        When True (default), only step nodes with a pending message or a
+        state change last round — exact for quiescent-stable protocols;
+        see the module docstring.  Round 1 always steps every node (a
+        rule may fire on faulty/ghost links alone, before any message
+        arrives).
+    debug_full_check:
+        Cross-check mode: additionally step every skipped node with an
+        empty inbox and raise :class:`~repro.errors.ProtocolError` if it
+        changed state or emitted a deliverable message — i.e. if
+        active-set execution would have diverged from full stepping.
     """
 
     def __init__(
@@ -75,6 +106,8 @@ class SynchronousEngine:
         factory: ProgramFactory,
         max_rounds: int | None = None,
         record_trace: bool = False,
+        active_set: bool = True,
+        debug_full_check: bool = False,
     ):
         self._topology = topology
         self._faulty = frozenset(faulty)
@@ -84,11 +117,18 @@ class SynchronousEngine:
             max_rounds = topology.num_nodes + 4
         self._max_rounds = int(max_rounds)
         self._record_trace = bool(record_trace)
+        self._active_set = bool(active_set)
+        self._debug_full_check = bool(debug_full_check)
         self._programs: Dict[Coord, NodeProgram] = {}
         for c in topology.nodes():
             if c not in self._faulty:
                 ctx = NodeContext(topology, c, self._faulty)
                 self._programs[c] = factory(ctx)
+        # Neighbour sets are immutable for the run; computing them once
+        # here keeps _post() from rebuilding a set per message batch.
+        self._neighbor_sets: Dict[Coord, frozenset[Coord]] = {
+            c: frozenset(topology.neighbors(c)) for c in self._programs
+        }
 
     @property
     def topology(self) -> Topology:
@@ -104,29 +144,44 @@ class SynchronousEngine:
             If a program addresses a non-neighbour or a faulty/ghost
             node is given a program, or the round budget is exhausted
             (which, for the monotone labeling protocols, indicates a
-            bug rather than slow convergence).
+            bug rather than slow convergence), or ``debug_full_check``
+            catches a skipped node that was not a no-op.
         """
         stats = RunStats()
         trace = RoundTrace() if self._record_trace else None
 
-        # Round 1's inboxes come from start().
-        pending: Dict[Coord, Dict[Coord, Any]] = {c: {} for c in self._programs}
+        # Round 1's inboxes come from start().  Inbox dicts are created
+        # on demand, so a quiescent network carries no per-node state.
+        pending: Dict[Coord, Dict[Coord, Any]] = {}
         for coord, prog in self._programs.items():
             self._post(coord, prog.start(), pending)
 
         if trace is not None:
             trace.record(0, {c: p.snapshot() for c, p in self._programs.items()})
 
+        # Round 1 steps everyone: a rule can fire on the initial state
+        # alone (e.g. a node surrounded by faulty links), with no inbox.
+        active = set(self._programs)
         for round_no in range(1, self._max_rounds + 1):
             delivered = sum(len(v) for v in pending.values())
-            nxt: Dict[Coord, Dict[Coord, Any]] = {c: {} for c in self._programs}
+            if self._active_set:
+                step_coords = sorted(active | pending.keys())
+            else:
+                step_coords = list(self._programs)
+            nxt: Dict[Coord, Dict[Coord, Any]] = {}
             changes = 0
-            for coord, prog in self._programs.items():
-                outgoing, changed = prog.on_round(pending[coord])
+            changed_now: set[Coord] = set()
+            for coord in step_coords:
+                inbox = pending.get(coord, _EMPTY_INBOX)
+                outgoing, changed = self._programs[coord].on_round(inbox)
                 if changed:
                     changes += 1
+                    changed_now.add(coord)
                 self._post(coord, outgoing, nxt)
+            if self._active_set and self._debug_full_check:
+                self._check_skipped(step_coords)
             pending = nxt
+            active = changed_now
             stats.messages_per_round.append(delivered)
             stats.changes_per_round.append(changes)
             if trace is not None:
@@ -142,6 +197,23 @@ class SynchronousEngine:
             f"engine did not quiesce within {self._max_rounds} rounds"
         )
 
+    def _check_skipped(self, stepped) -> None:
+        """Assert every node skipped this round was a genuine no-op."""
+        stepped_set = set(stepped)
+        for coord, prog in self._programs.items():
+            if coord in stepped_set:
+                continue
+            outgoing, changed = prog.on_round(_EMPTY_INBOX)
+            deliverable = outgoing and any(
+                d not in self._faulty for d in outgoing
+            )
+            if changed or deliverable:
+                raise ProtocolError(
+                    f"active-set invariant violated: skipped node {coord} "
+                    f"changed={bool(changed)}, sent={dict(outgoing)!r} on an "
+                    "empty inbox; run this protocol with active_set=False"
+                )
+
     def _post(
         self,
         sender: Coord,
@@ -151,7 +223,7 @@ class SynchronousEngine:
         """Validate and enqueue one node's outgoing messages."""
         if not outgoing:
             return
-        neighbors = set(self._topology.neighbors(sender))
+        neighbors = self._neighbor_sets[sender]
         for dest, payload in outgoing.items():
             if dest not in neighbors:
                 raise ProtocolError(
@@ -159,4 +231,7 @@ class SynchronousEngine:
                 )
             if dest in self._faulty:
                 continue  # faulty nodes silently drop traffic
-            boxes[dest][sender] = payload
+            box = boxes.get(dest)
+            if box is None:
+                box = boxes[dest] = {}
+            box[sender] = payload

@@ -3,7 +3,17 @@
 import numpy as np
 import pytest
 
-from repro.analysis import run_trials, sweep, trial_rngs
+from repro.analysis import run_trials, sweep, trial_rng, trial_rngs
+
+
+def _draw(rng):
+    """Module-level trial function so worker processes can pickle it."""
+    return float(rng.random())
+
+
+def _metric(value, rng):
+    """Module-level metric function so worker processes can pickle it."""
+    return {"double": 2.0 * value, "noise": float(rng.random())}
 
 
 class TestTrialRngs:
@@ -28,6 +38,21 @@ class TestTrialRngs:
     def test_validation(self):
         with pytest.raises(ValueError):
             trial_rngs(0, 1)
+
+
+class TestTrialRng:
+    def test_matches_spawned_stream(self):
+        # trial_rng(t, s, i) must be exactly the i-th of trial_rngs(t, s):
+        # that identity is what makes parallel runs scheduling-independent.
+        whole = [r.integers(1 << 30) for r in trial_rngs(5, 11)]
+        each = [trial_rng(5, 11, i).integers(1 << 30) for i in range(5)]
+        assert whole == each
+
+    def test_index_validated(self):
+        with pytest.raises(ValueError):
+            trial_rng(3, 0, 3)
+        with pytest.raises(ValueError):
+            trial_rng(3, 0, -1)
 
 
 class TestRunTrials:
@@ -59,3 +84,19 @@ class TestSweep:
         m = points[0].metrics
         assert m["always"].n == 20
         assert 0 < m["sometimes"].n < 20
+
+    def test_trials_validated(self):
+        with pytest.raises(ValueError):
+            sweep([1], _metric, trials=0, seed=0)
+
+
+class TestParallelHarness:
+    def test_run_trials_jobs_identical_to_serial(self):
+        serial = run_trials(_draw, trials=6, seed=13)
+        parallel = run_trials(_draw, trials=6, seed=13, jobs=2)
+        assert serial == parallel  # exact floats, in trial order
+
+    def test_sweep_jobs_identical_to_serial(self):
+        serial = sweep([1, 2, 3], _metric, trials=4, seed=9)
+        parallel = sweep([1, 2, 3], _metric, trials=4, seed=9, jobs=2)
+        assert serial == parallel  # Summary dataclasses compare exactly

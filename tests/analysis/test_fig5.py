@@ -76,3 +76,27 @@ class TestFig5Driver:
             seed=5,
         )
         assert curve.points[0].num_blocks.mean > 0
+
+    def test_jobs_and_method_invisible(self):
+        # Parallel scheduling and the frontier kernel must not change a
+        # single aggregate: every (f, trial) cell reseeds from its grid
+        # position and the kernels are property-tested identical.
+        def same(a, b):
+            # Exact equality, except nan == nan (f=0 has no reducible
+            # blocks, so enabled_ratio aggregates zero samples).
+            return a == b or (math.isnan(a) and math.isnan(b))
+
+        kw = dict(topology=Mesh2D(20, 20), f_values=[0, 8], trials=3, seed=123)
+        base = run_fig5(SafetyDefinition.DEF_2B, **kw)
+        fields = ("rounds_fb", "rounds_dr", "enabled_ratio", "num_blocks", "num_regions")
+        for variant in (
+            run_fig5(SafetyDefinition.DEF_2B, jobs=2, **kw),
+            run_fig5(SafetyDefinition.DEF_2B, method="frontier", **kw),
+            run_fig5(SafetyDefinition.DEF_2B, method="dense", jobs=2, **kw),
+        ):
+            for pv, pb in zip(variant.points, base.points):
+                assert pv.f == pb.f
+                for name in fields:
+                    sv, sb = getattr(pv, name), getattr(pb, name)
+                    assert sv.n == sb.n
+                    assert same(sv.mean, sb.mean) and same(sv.std, sb.std)

@@ -123,6 +123,18 @@ class TestMonotonicity:
         with pytest.raises(ConvergenceError):
             enabled_fixpoint(m, f, unsafe, max_rounds=1)
 
+    def test_step_out_buffer_matches_allocating_path(self):
+        m = Mesh2D(8, 8)
+        coords = [(2, 2), (3, 3), (4, 2), (2, 4), (4, 4)]
+        f = FaultSet.from_coords((8, 8), coords).mask
+        unsafe, _ = unsafe_fixpoint(m, f, SafetyDefinition.DEF_2B)
+        enabled = ~unsafe
+        fresh = enabled_step(m, f, enabled)
+        buf = np.empty_like(enabled)
+        returned = enabled_step(m, f, enabled, out=buf)
+        assert returned is buf
+        assert np.array_equal(fresh, buf)
+
 
 class TestGhostAndTorus:
     def test_boundary_unsafe_node_enables_via_ghosts(self):

@@ -147,3 +147,13 @@ class TestFixpointProperties:
         f = faults((12, 12), [(2, 2), (3, 3), (4, 4), (5, 5)])
         with pytest.raises(ConvergenceError):
             unsafe_fixpoint(m, f, DEF_2B, max_rounds=1)
+
+    def test_step_out_buffer_matches_allocating_path(self):
+        m = Mesh2D(8, 8)
+        f = faults((8, 8), [(2, 2), (3, 3), (4, 2)])
+        for definition in (DEF_2A, DEF_2B):
+            fresh = unsafe_step(m, f, f, definition)
+            buf = np.empty_like(f)
+            returned = unsafe_step(m, f, f, definition, out=buf)
+            assert returned is buf
+            assert np.array_equal(fresh, buf)

@@ -1,0 +1,108 @@
+"""Property: the sparse frontier kernels ARE the dense Jacobi kernels —
+bit-identical labels and identical round counts, on both topologies,
+both safety definitions, and every fault regime (empty, single, sparse
+random, clustered)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    SafetyDefinition,
+    enabled_fixpoint,
+    enabled_fixpoint_sparse,
+    label_mesh,
+    unsafe_fixpoint,
+    unsafe_fixpoint_sparse,
+)
+from repro.faults import FaultSet
+from repro.faults.generators import clustered, uniform_random
+from repro.mesh import Mesh2D, Torus2D
+
+W = H = 11
+
+definitions = st.sampled_from(list(SafetyDefinition))
+topologies = st.sampled_from([Mesh2D(W, H), Torus2D(W, H)])
+
+
+@st.composite
+def fault_sets(draw, max_faults=14):
+    n = draw(st.integers(0, max_faults))
+    coords = draw(
+        st.lists(
+            st.tuples(st.integers(0, W - 1), st.integers(0, H - 1)),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        )
+    )
+    return FaultSet.from_coords((W, H), coords)
+
+
+def assert_kernels_agree(topology, faulty, definition):
+    unsafe_d, r1_d = unsafe_fixpoint(topology, faulty, definition)
+    unsafe_s, r1_s = unsafe_fixpoint_sparse(topology, faulty, definition)
+    assert np.array_equal(unsafe_d, unsafe_s)
+    assert r1_d == r1_s
+    enabled_d, r2_d = enabled_fixpoint(topology, faulty, unsafe_d)
+    enabled_s, r2_s = enabled_fixpoint_sparse(topology, faulty, unsafe_d)
+    assert np.array_equal(enabled_d, enabled_s)
+    assert r2_d == r2_s
+
+
+class TestFrontierEquivalence:
+    @given(fault_sets(), topologies, definitions)
+    @settings(max_examples=60, deadline=None)
+    def test_random_fault_sets(self, faults, topology, definition):
+        assert_kernels_agree(topology, faults.mask, definition)
+
+    @pytest.mark.parametrize("topo_cls", [Mesh2D, Torus2D])
+    @pytest.mark.parametrize("definition", list(SafetyDefinition))
+    @pytest.mark.parametrize("f", [0, 1])
+    def test_empty_and_singleton(self, topo_cls, definition, f):
+        topo = topo_cls(W, H)
+        faults = uniform_random(topo.shape, f, np.random.default_rng(3))
+        assert_kernels_agree(topo, faults.mask, definition)
+
+    @pytest.mark.parametrize("topo_cls", [Mesh2D, Torus2D])
+    @pytest.mark.parametrize("definition", list(SafetyDefinition))
+    @pytest.mark.parametrize("seed", range(4))
+    def test_clustered_faults(self, topo_cls, definition, seed):
+        # Clustered faults build the large merged blocks where multi-round
+        # frontier waves actually occur.
+        topo = topo_cls(40, 40)
+        faults = clustered(
+            topo.shape, 60, np.random.default_rng(seed), clusters=3, spread=2.0
+        )
+        assert_kernels_agree(topo, faults.mask, definition)
+
+    @pytest.mark.parametrize(
+        "topo", [Mesh2D(7, 13), Torus2D(13, 7), Mesh2D(1, 9), Torus2D(9, 1)]
+    )
+    def test_non_square_and_degenerate_grids(self, topo):
+        # The flat-index arithmetic must not conflate width and height.
+        faults = uniform_random(topo.shape, min(5, topo.num_nodes), np.random.default_rng(1))
+        for definition in SafetyDefinition:
+            assert_kernels_agree(topo, faults.mask, definition)
+
+
+class TestPipelineMethods:
+    @given(fault_sets(), topologies, definitions)
+    @settings(max_examples=25, deadline=None)
+    def test_method_choice_is_invisible(self, faults, topology, definition):
+        dense = label_mesh(topology, faults, definition, method="dense")
+        frontier = label_mesh(topology, faults, definition, method="frontier")
+        auto = label_mesh(topology, faults, definition, method="auto")
+        for other in (frontier, auto):
+            assert np.array_equal(dense.labels.unsafe, other.labels.unsafe)
+            assert np.array_equal(dense.labels.enabled, other.labels.enabled)
+            assert dense.rounds_phase1 == other.rounds_phase1
+            assert dense.rounds_phase2 == other.rounds_phase2
+        assert dense.method == "dense"
+        assert frontier.method == "frontier"
+
+    def test_unknown_method_rejected(self):
+        faults = FaultSet.from_coords((W, H), [(2, 2)])
+        with pytest.raises(ValueError):
+            label_mesh(Mesh2D(W, H), faults, method="turbo")
