@@ -8,7 +8,7 @@ from repro.analysis.density import DensityPoint, density_study
 from repro.analysis.experiment import run_trials, trial_rng, trial_rngs
 from repro.analysis.fig5 import DEFAULT_F_VALUES, Fig5Curve, Fig5Point, run_fig5
 from repro.analysis.stats import Summary, summarize
-from repro.analysis.sweep import SweepPoint, sweep
+from repro.analysis.sweep import CellFailure, SweepPoint, sweep
 from repro.analysis.tables import format_table
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "Fig5Curve",
     "Fig5Point",
     "Summary",
+    "CellFailure",
     "SweepPoint",
     "format_table",
     "run_fig5",

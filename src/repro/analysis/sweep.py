@@ -11,39 +11,113 @@ trial_index)`` alone, so results are bit-identical to a serial sweep
 regardless of scheduling; aggregation happens in deterministic (value,
 trial) order either way.  The metric function must be picklable (a
 module-level function) when ``jobs > 1``.
+
+Sweeps degrade gracefully: a cell whose metric function raises does not
+abort the sweep.  The cell contributes no samples and is recorded as a
+:class:`CellFailure` on its value's :class:`SweepPoint`, so long
+multi-hour sweeps report partial results plus a precise account of what
+went wrong instead of dying on the last trial.  A worker process dying
+outright (``BrokenProcessPool``) is retried on a fresh pool a bounded
+number of times before the affected cells are marked failed.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.analysis.experiment import trial_rng, trial_rngs
+from repro.analysis.experiment import trial_rng
 from repro.analysis.stats import Summary, summarize
 
-__all__ = ["SweepPoint", "sweep"]
+__all__ = ["CellFailure", "SweepPoint", "sweep"]
 
 #: Decorrelates the per-value root seeds (same constant as always).
 _VALUE_SEED_STRIDE = 104729
+
+#: Fresh pools tried after a worker crash before giving up on the
+#: remaining cells of a batch.
+_BROKEN_POOL_RETRIES = 2
 
 MetricFn = Callable[[object, np.random.Generator], Dict[str, float]]
 
 
 @dataclass(frozen=True)
+class CellFailure:
+    """One (value, trial) cell whose metric function did not produce
+    metrics: the exception's type and message, for the sweep report."""
+
+    value: object
+    trial: int
+    error: str
+
+
+@dataclass(frozen=True)
 class SweepPoint:
-    """Aggregated metrics of one parameter value."""
+    """Aggregated metrics of one parameter value.
+
+    ``metrics`` summarises the trials that succeeded; ``failures``
+    records the ones that did not (empty on a clean sweep).
+    """
 
     value: object
     metrics: Dict[str, Summary]
+    failures: Tuple[CellFailure, ...] = ()
 
 
-def _eval_cell(task: Tuple[MetricFn, object, int, int, int, int]) -> Dict[str, float]:
+class _CellError:
+    """Picklable marker for a failed cell (crosses the pool boundary)."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: str):
+        self.error = error
+
+
+def _eval_cell(task: Tuple[MetricFn, object, int, int, int, int]):
     fn, value, vi, ti, trials, seed = task
     rng = trial_rng(trials, seed + _VALUE_SEED_STRIDE * vi, ti)
-    return fn(value, rng)
+    try:
+        return fn(value, rng)
+    except BaseException as exc:  # worker-side: report, don't kill the sweep
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        return _CellError(f"{type(exc).__name__}: {exc}")
+
+
+def _eval_parallel(tasks: List[tuple], jobs: int) -> List[object]:
+    """Evaluate cells on a process pool, surviving worker crashes.
+
+    A ``BrokenProcessPool`` (worker killed by the OS, segfault in a
+    native extension, ...) poisons the whole executor, so the batch is
+    resumed on a fresh pool from the first unfinished cell.  A cell is
+    first *retried* — the crash may have been a healthy cell caught in
+    another cell's blast radius, or a transient OOM kill — and only
+    marked failed once it has crashed ``_BROKEN_POOL_RETRIES`` fresh
+    pools from the same resume position.
+    """
+    rows: List[object] = []
+    crashes_at: Dict[int, int] = {}
+    while len(rows) < len(tasks):
+        start = len(rows)
+        try:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                for row in pool.map(_eval_cell, tasks[start:]):
+                    rows.append(row)
+        except BrokenProcessPool:
+            pos = len(rows)
+            crashes_at[pos] = crashes_at.get(pos, 0) + 1
+            if crashes_at[pos] > _BROKEN_POOL_RETRIES:
+                rows.append(
+                    _CellError(
+                        "worker lost: BrokenProcessPool "
+                        f"(after {_BROKEN_POOL_RETRIES} pool retries)"
+                    )
+                )
+    return rows
 
 
 def sweep(
@@ -59,35 +133,37 @@ def sweep(
     generator; metrics are summarised per value.  Metric keys may vary
     between trials (missing keys are simply absent from that sample).
     ``jobs > 1`` evaluates the grid on a process pool with identical
-    results (see module docstring).
+    results (see module docstring).  A raising cell is recorded on its
+    point's ``failures`` instead of aborting the sweep — identically in
+    serial and parallel runs.
     """
     if trials < 1:
         raise ValueError(f"need at least one trial, got {trials}")
+    tasks = [
+        (fn, value, vi, ti, trials, seed)
+        for vi, value in enumerate(values)
+        for ti in range(trials)
+    ]
     if jobs <= 1:
-        rows = [
-            fn(value, rng)
-            for vi, value in enumerate(values)
-            for rng in trial_rngs(trials, seed + _VALUE_SEED_STRIDE * vi)
-        ]
+        rows = [_eval_cell(task) for task in tasks]
     else:
-        tasks = [
-            (fn, value, vi, ti, trials, seed)
-            for vi, value in enumerate(values)
-            for ti in range(trials)
-        ]
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            rows = list(pool.map(_eval_cell, tasks))
+        rows = _eval_parallel(tasks, jobs)
 
     points: List[SweepPoint] = []
     for vi, value in enumerate(values):
         samples: Dict[str, List[float]] = {}
-        for row in rows[vi * trials : (vi + 1) * trials]:
+        failures: List[CellFailure] = []
+        for ti, row in enumerate(rows[vi * trials : (vi + 1) * trials]):
+            if isinstance(row, _CellError):
+                failures.append(CellFailure(value=value, trial=ti, error=row.error))
+                continue
             for key, num in row.items():
                 samples.setdefault(key, []).append(float(num))
         points.append(
             SweepPoint(
                 value=value,
                 metrics={k: summarize(v) for k, v in samples.items()},
+                failures=tuple(failures),
             )
         )
     return points

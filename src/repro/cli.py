@@ -76,6 +76,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_label.add_argument(
         "--no-art", action="store_true", help="skip the ASCII rendering"
     )
+    p_label.add_argument(
+        "--fault-schedule",
+        metavar="SPEC",
+        help=(
+            "mid-run crash schedule 'time:x,y;time:x,y;...' "
+            "(distributed backend only)"
+        ),
+    )
+    p_label.add_argument(
+        "--drop-prob",
+        type=float,
+        default=0.0,
+        help="per-message loss probability (distributed backend only)",
+    )
+    p_label.add_argument(
+        "--dup-prob",
+        type=float,
+        default=0.0,
+        help="per-message duplication probability (distributed backend only)",
+    )
+    p_label.add_argument(
+        "--channel-seed",
+        type=int,
+        default=None,
+        help="seed for the lossy channel (default: derived from --seed)",
+    )
 
     p_fig5 = sub.add_parser("fig5", help="reproduce the Figure-5 sweep")
     p_fig5.add_argument("--size", type=int, default=100)
@@ -145,12 +171,39 @@ def _definition(args):
 
 def _cmd_label(args) -> int:
     from repro.core import label_mesh, theorems
+    from repro.fabric import ChannelModel
+    from repro.faults import FaultSchedule
     from repro.viz import render_result, svg_of_result
+
+    schedule = None
+    if args.fault_schedule:
+        try:
+            schedule = FaultSchedule.parse(args.fault_schedule)
+        except Exception as exc:
+            print(f"label: bad --fault-schedule: {exc}", file=sys.stderr)
+            return 2
+    channel = None
+    if args.drop_prob or args.dup_prob:
+        seed = args.channel_seed if args.channel_seed is not None else args.seed + 9
+        channel = ChannelModel(
+            drop_prob=args.drop_prob,
+            dup_prob=args.dup_prob,
+            rng=np.random.default_rng(seed),
+            max_drops=1_000,
+        )
+    if (schedule or channel is not None) and args.backend != "distributed":
+        print(
+            "label: --fault-schedule/--drop-prob/--dup-prob need "
+            "--backend distributed",
+            file=sys.stderr,
+        )
+        return 2
 
     topo = _topology(args)
     faults = _faults(args, topo.shape)
     result = label_mesh(
-        topo, faults, _definition(args), backend=args.backend, method=args.method
+        topo, faults, _definition(args), backend=args.backend, method=args.method,
+        schedule=schedule, channel=channel,
     )
 
     if not args.no_art and args.size <= 60:
@@ -158,6 +211,25 @@ def _cmd_label(args) -> int:
         print()
     for key, value in result.summary().items():
         print(f"{key:>16}: {value}")
+    stats1 = result.stats_phase1
+    if stats1 is not None and stats1.epochs:
+        print()
+        print(
+            f"phase 1 ran {len(stats1.epochs)} epochs "
+            f"({stats1.recovery_rounds} recovery rounds, "
+            f"{stats1.dropped_messages} drops, "
+            f"{stats1.duplicated_messages} duplicates, "
+            f"{stats1.heartbeats} heartbeats):"
+        )
+        for ep in stats1.epochs:
+            crashed = (
+                "initial" if not ep.crashed
+                else "crash " + " ".join(f"{x},{y}" for x, y in ep.crashed)
+            )
+            print(
+                f"  t={ep.at_time:>4} {crashed}: {ep.rounds} rounds, "
+                f"{ep.messages} messages"
+            )
     if args.verify:
         print()
         failures = 0

@@ -7,20 +7,34 @@ fixpoints of :mod:`repro.core.safety` / :mod:`repro.core.enabling`
 (property-tested), while additionally reporting message statistics.
 Use it when fidelity or communication cost matters; use the vectorized
 backend for large parameter sweeps.
+
+All four drivers accept a :class:`~repro.faults.schedule.FaultSchedule`
+of mid-run crashes and a :class:`~repro.fabric.channel.ChannelModel` of
+link degradations.  For phase 1 the protocols are self-stabilizing:
+whatever the schedule and any lossy-but-fair channel, the converged
+labels equal the from-scratch fixpoint on the *final* fault set
+(property tested); the returned masks therefore mark every crashed node
+as unsafe, exactly as a from-scratch run on the final faults would.
+Phase 2 is monotone in node status but not in the fault set (a faulty
+neighbour counts as *disabled*), so deployments re-run it from the
+phase-1 labels once faults settle — which is how
+:func:`repro.core.pipeline.label_mesh` composes the two phases.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.core.protocols import EnableProgram, SafetyProgram
 from repro.core.status import SafetyDefinition
 from repro.fabric.async_engine import AsynchronousEngine
+from repro.fabric.channel import ChannelModel
 from repro.fabric.engine import SynchronousEngine
 from repro.fabric.stats import RunStats
 from repro.faults.faultset import FaultSet
+from repro.faults.schedule import FaultSchedule
 from repro.mesh.topology import Topology
 from repro.types import BoolGrid
 
@@ -32,6 +46,13 @@ __all__ = [
 ]
 
 
+def _final_faults(faults: FaultSet, schedule: Optional[FaultSchedule]) -> FaultSet:
+    """The fault set after every scheduled crash has struck."""
+    if schedule is None or not schedule:
+        return faults
+    return schedule.check_shape(faults.shape).final_faults(faults)
+
+
 def distributed_unsafe(
     topology: Topology,
     faults: FaultSet,
@@ -39,12 +60,17 @@ def distributed_unsafe(
     chatty: bool = False,
     record_trace: bool = False,
     active_set: bool = True,
+    schedule: Optional[FaultSchedule] = None,
+    channel: Optional[ChannelModel] = None,
 ) -> Tuple[BoolGrid, RunStats, object]:
     """Run phase 1 as a distributed protocol.
 
     ``active_set=False`` forces the engine to step every node every
     round (identical results; see
-    :class:`~repro.fabric.engine.SynchronousEngine`).
+    :class:`~repro.fabric.engine.SynchronousEngine`).  ``schedule``
+    crashes nodes mid-run and ``channel`` degrades the links; the
+    returned mask is the fixpoint on the final fault set (crashed nodes
+    are unsafe by definition, like initially-faulty ones).
 
     Returns
     -------
@@ -53,16 +79,18 @@ def distributed_unsafe(
         :class:`~repro.fabric.stats.RunStats`, and the round trace
         (``None`` unless ``record_trace``).
     """
-    faulty_set = frozenset(faults)
     engine = SynchronousEngine(
         topology,
-        faulty_set,
+        frozenset(faults),
         factory=lambda ctx: SafetyProgram(ctx, definition, chatty=chatty),
         record_trace=record_trace,
         active_set=active_set,
+        schedule=schedule,
+        channel=channel,
     )
     result = engine.run()
-    unsafe = faults.mask.copy()  # faulty nodes are unsafe by definition
+    # faulty nodes — initial and crashed alike — are unsafe by definition
+    unsafe = _final_faults(faults, schedule).mask.copy()
     for coord, is_unsafe in result.snapshots.items():
         if is_unsafe:
             unsafe[coord] = True
@@ -76,11 +104,18 @@ def distributed_enabled(
     chatty: bool = False,
     record_trace: bool = False,
     active_set: bool = True,
+    channel: Optional[ChannelModel] = None,
 ) -> Tuple[BoolGrid, RunStats, object]:
     """Run phase 2 as a distributed protocol, seeded by phase-1 labels.
 
     Each node is initialised only from its *own* phase-1 status, exactly
     as a real machine would carry local state between the two protocols.
+    ``faults`` must be the settled (final) fault set: the enable rule is
+    not monotone under fault growth, so recovery from mid-run crashes is
+    by re-running this phase from the re-converged phase-1 labels (see
+    the module docstring) rather than by crashing nodes inside it.  A
+    lossy-but-fair ``channel`` is fine: the rule is monotone in the
+    statuses themselves.
 
     Returns
     -------
@@ -92,15 +127,15 @@ def distributed_enabled(
         raise ValueError(
             f"unsafe mask shape {unsafe.shape} != topology shape {topology.shape}"
         )
-    faulty_set = frozenset(faults)
     engine = SynchronousEngine(
         topology,
-        faulty_set,
+        frozenset(faults),
         factory=lambda ctx: EnableProgram(
             ctx, unsafe=bool(unsafe[ctx.coord]), chatty=chatty
         ),
         record_trace=record_trace,
         active_set=active_set,
+        channel=channel,
     )
     result = engine.run()
     enabled = np.zeros(topology.shape, dtype=bool)
@@ -116,14 +151,18 @@ def async_unsafe(
     rng: np.random.Generator,
     definition: SafetyDefinition = SafetyDefinition.DEF_2B,
     max_delay: int = 5,
+    schedule: Optional[FaultSchedule] = None,
+    channel: Optional[ChannelModel] = None,
 ) -> Tuple[BoolGrid, RunStats]:
     """Run phase 1 on the *asynchronous* engine.
 
     The schedule delays each message by a random amount drawn from
     ``rng``; the monotone protocol converges to the same labels as the
-    synchronous execution regardless (property-tested).  Round counts
-    are not comparable to the synchronous ones; ``stats.rounds`` is the
-    number of state-changing delivery events.
+    synchronous execution regardless (property-tested), including under
+    mid-run crashes (``schedule``) and lossy-but-fair links
+    (``channel``).  Round counts are not comparable to the synchronous
+    ones; ``stats.rounds`` is the number of state-changing delivery
+    events.
     """
     engine = AsynchronousEngine(
         topology,
@@ -131,9 +170,11 @@ def async_unsafe(
         factory=lambda ctx: SafetyProgram(ctx, definition),
         rng=rng,
         max_delay=max_delay,
+        schedule=schedule,
+        channel=channel,
     )
     result = engine.run()
-    unsafe = faults.mask.copy()
+    unsafe = _final_faults(faults, schedule).mask.copy()
     for coord, is_unsafe in result.snapshots.items():
         if is_unsafe:
             unsafe[coord] = True
@@ -146,8 +187,11 @@ def async_enabled(
     unsafe: BoolGrid,
     rng: np.random.Generator,
     max_delay: int = 5,
+    channel: Optional[ChannelModel] = None,
 ) -> Tuple[BoolGrid, RunStats]:
-    """Run phase 2 on the asynchronous engine (see :func:`async_unsafe`)."""
+    """Run phase 2 on the asynchronous engine (see :func:`async_unsafe`
+    and :func:`distributed_enabled` for why this phase takes a settled
+    fault set rather than a crash schedule)."""
     if unsafe.shape != topology.shape:
         raise ValueError(
             f"unsafe mask shape {unsafe.shape} != topology shape {topology.shape}"
@@ -158,6 +202,7 @@ def async_enabled(
         factory=lambda ctx: EnableProgram(ctx, unsafe=bool(unsafe[ctx.coord])),
         rng=rng,
         max_delay=max_delay,
+        channel=channel,
     )
     result = engine.run()
     enabled = np.zeros(topology.shape, dtype=bool)

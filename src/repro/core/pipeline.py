@@ -35,8 +35,10 @@ from repro.core.frontier import enabled_fixpoint_sparse, unsafe_fixpoint_sparse
 from repro.core.regions import DisabledRegion, extract_regions
 from repro.core.safety import unsafe_fixpoint
 from repro.core.status import LabelGrid, SafetyDefinition
+from repro.fabric.channel import ChannelModel
 from repro.fabric.stats import RunStats
 from repro.faults.faultset import FaultSet
+from repro.faults.schedule import FaultSchedule
 from repro.mesh.topology import Topology
 
 __all__ = ["LabelingResult", "label_mesh"]
@@ -176,6 +178,8 @@ def label_mesh(
     backend: Backend = "vectorized",
     chatty: bool = False,
     method: Method = "auto",
+    schedule: Optional[FaultSchedule] = None,
+    channel: Optional[ChannelModel] = None,
 ) -> LabelingResult:
     """Run the full two-phase pipeline.
 
@@ -200,6 +204,20 @@ def label_mesh(
         counts, work proportional to the affected area), and ``"auto"``
         (default) picks per phase by the sparsity of the instance.
         Ignored by the distributed backend.
+    schedule:
+        Distributed backend only: a
+        :class:`~repro.faults.schedule.FaultSchedule` of crashes that
+        strike *during* phase 1.  Phase 1 self-stabilizes through them;
+        phase 2 then runs on the settled (final) fault set seeded from
+        the re-converged phase-1 labels — the standard restart
+        composition, since the enable rule is not monotone under fault
+        growth.  The result describes the final fault set, so it equals
+        a from-scratch run on those faults (property tested).
+    channel:
+        Distributed backend only: a lossy/duplicating/jittering
+        :class:`~repro.fabric.channel.ChannelModel` applied to both
+        phases.  Must be fair for convergence guarantees; see
+        :mod:`repro.fabric.channel`.
 
     Returns
     -------
@@ -208,6 +226,13 @@ def label_mesh(
     if faults.shape != topology.shape:
         raise ValueError(
             f"fault shape {faults.shape} != topology shape {topology.shape}"
+        )
+    dynamic = (schedule is not None and bool(schedule)) or (
+        channel is not None and not channel.is_reliable
+    )
+    if dynamic and backend != "distributed":
+        raise ValueError(
+            "fault schedules and lossy channels require backend='distributed'"
         )
     faulty = faults.mask
     if backend == "vectorized":
@@ -227,10 +252,16 @@ def label_mesh(
         stats1 = stats2 = None
     elif backend == "distributed":
         unsafe, stats1, _ = distributed_unsafe(
-            topology, faults, definition, chatty=chatty
+            topology, faults, definition, chatty=chatty,
+            schedule=schedule, channel=channel,
         )
+        if schedule is not None and schedule:
+            # Crashes settled during phase 1; phase 2 runs on the final
+            # fault set, seeded from the re-converged phase-1 labels.
+            faults = schedule.check_shape(faults.shape).final_faults(faults)
+            faulty = faults.mask
         enabled, stats2, _ = distributed_enabled(
-            topology, faults, unsafe, chatty=chatty
+            topology, faults, unsafe, chatty=chatty, channel=channel
         )
         rounds1, rounds2 = stats1.rounds, stats2.rounds
         method_used = "n/a"

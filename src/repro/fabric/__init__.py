@@ -10,19 +10,23 @@ statistics — the quantities Figure 5 (a)/(b) of the paper reports.
 """
 
 from repro.fabric.async_engine import AsynchronousEngine
-from repro.fabric.engine import EngineResult, SynchronousEngine
+from repro.fabric.channel import ChannelModel
+from repro.fabric.engine import EngineResult, SynchronousEngine, build_neighbor_sets
 from repro.fabric.message import Message
 from repro.fabric.program import NodeContext, NodeProgram
-from repro.fabric.stats import RunStats
+from repro.fabric.stats import EpochStats, RunStats
 from repro.fabric.trace import RoundTrace
 
 __all__ = [
     "AsynchronousEngine",
+    "ChannelModel",
     "EngineResult",
+    "EpochStats",
     "Message",
     "NodeContext",
     "NodeProgram",
     "RoundTrace",
     "RunStats",
     "SynchronousEngine",
+    "build_neighbor_sets",
 ]

@@ -24,20 +24,41 @@ API is delivery-batch based, so it serves both engines unchanged).
 Execution ends when no messages are in flight — for quiescently
 terminating protocols such as the labeling rules this coincides with
 the fixpoint.
+
+Dynamic faults and lossy channels
+---------------------------------
+As in :class:`~repro.fabric.engine.SynchronousEngine`, a
+:class:`~repro.faults.schedule.FaultSchedule` crashes nodes at points
+of the virtual clock: a crash at time *t* strikes before any delivery
+at *t*; in-flight traffic to the dead node is discarded (its own
+earlier sends, already in the network, are still delivered), surviving
+neighbours observe the change via
+:meth:`~repro.fabric.program.NodeContext.mark_faulty` and take an
+immediate wake-up step so rules that now fire on the dead link do fire.
+If the network drains while crash events remain, the clock jumps to the
+next event.  A lossy :class:`~repro.fabric.channel.ChannelModel` drops,
+duplicates or delays copies at the posting boundary; when the queue
+drains with unrepaired drops outstanding, every program's
+:meth:`~repro.fabric.program.NodeProgram.resend` heartbeat re-announces
+current state.  With no schedule and a reliable channel the engine is
+bit-for-bit its historical self.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from itertools import count
-from typing import Any, Dict, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.errors import ProtocolError
-from repro.fabric.engine import EngineResult, ProgramFactory
+from repro.fabric.channel import ChannelModel
+from repro.fabric.engine import EngineResult, ProgramFactory, build_neighbor_sets
 from repro.fabric.program import NodeContext
-from repro.fabric.stats import RunStats
+from repro.fabric.stats import EpochStats, RunStats
+from repro.faults.schedule import FaultSchedule
 from repro.mesh.topology import Topology
 from repro.types import Coord
 
@@ -59,37 +80,61 @@ class AsynchronousEngine:
         the schedule synchronous-like (but still serialised per node).
     max_events:
         Safety budget on delivery events.
+    schedule:
+        Optional mid-run crash schedule on the virtual clock.
+    channel:
+        Optional lossy/duplicating/jittering link model; ``None`` or a
+        reliable channel keeps perfect links (and the historical rng
+        stream).
     """
 
     def __init__(
         self,
         topology: Topology,
-        faulty: frozenset[Coord] | set[Coord],
+        faulty: frozenset | set,
         factory: ProgramFactory,
         rng: np.random.Generator,
         max_delay: int = 5,
         max_events: int | None = None,
+        schedule: Optional[FaultSchedule] = None,
+        channel: Optional[ChannelModel] = None,
     ):
         if max_delay < 1:
             raise ProtocolError(f"max_delay must be >= 1, got {max_delay}")
         self._topology = topology
-        self._faulty = frozenset(faulty)
+        self._faulty: Set[Coord] = set(faulty)
         for f in self._faulty:
             topology.check(f)
+        self._events_in: deque = deque()
+        if schedule is not None:
+            for t, batch in schedule.batches():
+                for c in batch:
+                    topology.check(c)
+                self._events_in.append((t, batch))
+        self._channel = channel if channel is not None and not channel.is_reliable else None
+        self._dynamic = bool(self._events_in) or self._channel is not None
         self._rng = rng
         self._max_delay = int(max_delay)
         # Generous: every node can flip once, each flip fans out <= 4
         # messages, each message may trigger a (non-flipping) step.
-        self._max_events = (
-            max_events
-            if max_events is not None
-            else 40 * topology.num_nodes * self._max_delay + 1000
-        )
+        if max_events is None:
+            max_events = (40 * topology.num_nodes * self._max_delay + 1000) * (
+                len(self._events_in) + 1
+            )
+            if self._channel is not None and self._channel.drop_budget is not None:
+                # Every drop can cost one heartbeat repair cycle, whose
+                # resends fan out ~4 messages (plus duplicates) per node.
+                max_events += (self._channel.drop_budget + 1) * (
+                    8 * topology.num_nodes
+                )
+        self._max_events = max_events
         self._programs = {}
         for c in topology.nodes():
             if c not in self._faulty:
-                ctx = NodeContext(topology, c, self._faulty)
+                ctx = NodeContext(topology, c, frozenset(self._faulty))
                 self._programs[c] = factory(ctx)
+        # Cached once; post() used to rebuild a set per message batch.
+        self._neighbor_sets = build_neighbor_sets(topology, self._programs)
 
     def run(self) -> EngineResult:
         """Drive the system until no messages remain in flight.
@@ -100,6 +145,8 @@ class AsynchronousEngine:
         rounds; not comparable to synchronous round counts).
         """
         stats = RunStats()
+        channel = self._channel
+        crash_events = self._events_in
         # Priority queue of (deliver_at, tiebreak, recipient); the
         # payload map per (time, recipient) keeps only the latest
         # message per sender, like a real link that overwrites status.
@@ -108,18 +155,36 @@ class AsynchronousEngine:
         tiebreak = count()
 
         def post(sender: Coord, outgoing: Mapping[Coord, Any], now: int) -> None:
-            neighbors = set(self._topology.neighbors(sender))
+            neighbors = self._neighbor_sets[sender]
             for dest, payload in outgoing.items():
                 if dest not in neighbors:
                     raise ProtocolError(f"node {sender} sent to non-neighbour {dest}")
                 if dest in self._faulty:
                     continue
-                at = now + int(self._rng.integers(1, self._max_delay + 1))
-                key = (at, dest)
-                if key not in pending:
-                    pending[key] = {}
-                    heapq.heappush(queue, (at, next(tiebreak), dest))
-                pending[key][sender] = payload
+                if channel is None:
+                    offsets = (0,)
+                else:
+                    offsets = channel.copies()
+                for offset in offsets:
+                    at = (
+                        now
+                        + int(self._rng.integers(1, self._max_delay + 1))
+                        + offset
+                    )
+                    key = (at, dest)
+                    if key not in pending:
+                        pending[key] = {}
+                        heapq.heappush(queue, (at, next(tiebreak), dest))
+                    pending[key][sender] = payload
+
+        # Baselines first: drops during the initial announcements below
+        # must count (and be heartbeat-repaired) like any later loss.
+        drops_base = channel.drops if channel is not None else 0
+        dups_base = channel.duplicates if channel is not None else 0
+        drops_acked = drops_base
+        epoch_drop_base, epoch_dup_base = drops_base, dups_base
+        if self._dynamic:
+            stats.epochs.append(EpochStats())
 
         for coord, prog in self._programs.items():
             post(coord, prog.start(), now=0)
@@ -127,6 +192,55 @@ class AsynchronousEngine:
         events = 0
         changing_events = 0
         messages = 0
+        now = 0
+
+        def bump_budget() -> None:
+            nonlocal events
+            events += 1
+            if events > self._max_events:
+                raise ProtocolError(
+                    f"async engine exceeded {self._max_events} delivery events"
+                )
+
+        def step(coord: Coord, inbox: Mapping[Coord, Any], at: int) -> None:
+            nonlocal changing_events
+            outgoing, changed = self._programs[coord].on_round(inbox)
+            if changed:
+                changing_events += 1
+                if self._dynamic:
+                    stats.epochs[-1].rounds += 1
+            post(coord, outgoing, now=at)
+
+        def apply_crashes(batch, at: int) -> None:
+            nonlocal epoch_drop_base, epoch_dup_base
+            applied: List[Coord] = []
+            for c in sorted(batch):
+                if c not in self._programs:
+                    continue  # faulty from the start, or crashed earlier
+                del self._programs[c]
+                self._faulty.add(c)
+                applied.append(c)
+            if self._dynamic:
+                ep = stats.epochs[-1]
+                ep.dropped = (channel.drops if channel else 0) - epoch_drop_base
+                ep.duplicated = (channel.duplicates if channel else 0) - epoch_dup_base
+                epoch_drop_base = channel.drops if channel else 0
+                epoch_dup_base = channel.duplicates if channel else 0
+                stats.epochs.append(EpochStats(crashed=tuple(applied), at_time=at))
+            # Surviving neighbours notice the dead links and take one
+            # immediate wake-up step: rules counting faulty links may
+            # now fire without any message arriving.
+            woken: Set[Coord] = set()
+            for c in applied:
+                for n in self._neighbor_sets[c]:
+                    prog = self._programs.get(n)
+                    if prog is not None and prog.ctx.mark_faulty(c):
+                        woken.add(n)
+            for n in sorted(woken):
+                bump_budget()
+                if self._dynamic:
+                    stats.epochs[-1].executed_rounds += 1
+                step(n, {}, at)
 
         # Initial local wake-up: unlike the synchronous engine, where
         # every node steps every round, an event-driven node only steps
@@ -135,25 +249,53 @@ class AsynchronousEngine:
         # threshold without any message ever arriving).  One empty-inbox
         # step per node evaluates those static conditions; everything
         # dynamic afterwards arrives as messages.
-        for coord, prog in self._programs.items():
-            outgoing, changed = prog.on_round({})
-            if changed:
-                changing_events += 1
-            post(coord, outgoing, now=0)
-        while queue:
-            events += 1
-            if events > self._max_events:
-                raise ProtocolError(
-                    f"async engine exceeded {self._max_events} delivery events"
-                )
+        for coord in list(self._programs):
+            step(coord, {}, 0)
+        while True:
+            # Crash batches strike before any delivery at their time;
+            # a drained network fast-forwards to the next batch.
+            if crash_events and (
+                not queue or crash_events[0][0] <= queue[0][0]
+            ):
+                t, batch = crash_events.popleft()
+                now = max(now, t)
+                apply_crashes(batch, t)
+                continue
+            if not queue:
+                if channel is not None and channel.drops > drops_acked:
+                    # Heartbeat: repair lost status updates.
+                    stats.heartbeats += 1
+                    if stats.heartbeats > self._max_events:
+                        raise ProtocolError(
+                            f"channel kept dropping: {stats.heartbeats} "
+                            "heartbeats without draining the network "
+                            "(is the channel fair?)"
+                        )
+                    drops_acked = channel.drops
+                    for coord, prog in self._programs.items():
+                        post(coord, prog.resend(), now)
+                    continue
+                break
+            bump_budget()
             at, _, dest = heapq.heappop(queue)
+            now = at
             inbox = pending.pop((at, dest))
+            if dest not in self._programs:
+                continue  # crashed while the messages were in flight
             messages += len(inbox)
-            outgoing, changed = self._programs[dest].on_round(inbox)
-            if changed:
-                changing_events += 1
-            post(dest, outgoing, now=at)
+            if self._dynamic:
+                ep = stats.epochs[-1]
+                ep.executed_rounds += 1
+                ep.messages += len(inbox)
+            step(dest, inbox, at)
 
+        if self._dynamic:
+            ep = stats.epochs[-1]
+            ep.dropped = (channel.drops if channel else 0) - epoch_drop_base
+            ep.duplicated = (channel.duplicates if channel else 0) - epoch_dup_base
+        if channel is not None:
+            stats.dropped_messages = channel.drops - drops_base
+            stats.duplicated_messages = channel.duplicates - dups_base
         stats.rounds = changing_events
         stats.messages_per_round = [messages]
         stats.changes_per_round = [changing_events]

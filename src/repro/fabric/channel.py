@@ -1,0 +1,164 @@
+"""Link behaviour models for the fabric engines.
+
+The engines' default links are perfect: every message sent to a live
+neighbour arrives exactly once, after one round (synchronous) or one
+random bounded delay (asynchronous).  A :class:`ChannelModel` injects
+the failure modes real interconnects exhibit — message loss,
+duplication, and extra delivery jitter — at the engines' posting
+boundary, from a seeded generator so every degraded run is
+reproducible.
+
+:meth:`ChannelModel.reliable` (and passing no channel at all) is
+bit-for-bit the historical behaviour: it consumes no randomness and
+delivers every message exactly once with no extra delay.
+
+Fairness
+--------
+The self-stabilization guarantee (converged labels equal the
+from-scratch fixpoint on the final fault set) needs the channel to be
+*lossy but fair*: drops must eventually stop, or lost status updates
+must be repaired by the engines' status-change heartbeat
+(:meth:`~repro.fabric.program.NodeProgram.resend`, triggered whenever
+the network drains while dropped messages are outstanding).  A finite
+``max_drops`` budget makes fairness unconditional — after the budget is
+spent the channel behaves reliably — which is how the property suite
+exercises adversarial loss while keeping termination guaranteed.  An
+unbounded lossy channel (``max_drops=None``) still converges with
+probability 1 for ``drop_prob < 1``; the engines' round/event budgets
+turn the measure-zero residue into a :class:`~repro.errors.ProtocolError`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ChannelModel"]
+
+#: The single on-time copy a reliable link delivers.
+_ON_TIME: Tuple[int, ...] = (0,)
+
+
+class ChannelModel:
+    """Seeded per-message delivery model shared by both engines.
+
+    Parameters
+    ----------
+    drop_prob:
+        Probability in ``[0, 1]`` that a message's on-time copy is lost.
+    dup_prob:
+        Probability that a late duplicate copy is injected (the
+        duplicate is delivered at least one time unit after the
+        original would have been).
+    jitter:
+        Maximum extra delivery delay, in rounds (synchronous) or time
+        units (asynchronous), drawn uniformly from ``[0, jitter]`` per
+        delivered copy.
+    rng:
+        Seeded generator; required unless the channel is reliable.
+    max_drops:
+        Optional total drop budget.  Once spent, the channel stops
+        dropping — the "drops eventually stop" fairness assumption in
+        deterministic form.  ``None`` means unbounded loss.
+    """
+
+    __slots__ = ("_drop", "_dup", "_jitter", "_rng", "_max_drops", "drops", "duplicates")
+
+    def __init__(
+        self,
+        drop_prob: float = 0.0,
+        dup_prob: float = 0.0,
+        jitter: int = 0,
+        rng: Optional[np.random.Generator] = None,
+        max_drops: Optional[int] = None,
+    ):
+        if not 0.0 <= drop_prob <= 1.0:
+            raise ValueError(f"drop_prob must be in [0, 1], got {drop_prob}")
+        if not 0.0 <= dup_prob <= 1.0:
+            raise ValueError(f"dup_prob must be in [0, 1], got {dup_prob}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        if max_drops is not None and max_drops < 0:
+            raise ValueError(f"max_drops must be >= 0, got {max_drops}")
+        self._drop = float(drop_prob)
+        self._dup = float(dup_prob)
+        self._jitter = int(jitter)
+        self._rng = rng
+        self._max_drops = max_drops
+        #: Messages dropped so far (cumulative over the channel's life;
+        #: engines track deltas, so one channel may serve several runs).
+        self.drops = 0
+        #: Duplicate copies injected so far.
+        self.duplicates = 0
+        if not self.is_reliable and rng is None:
+            raise ValueError("a lossy channel needs a seeded rng")
+
+    @classmethod
+    def reliable(cls) -> "ChannelModel":
+        """The perfect link: every message delivered once, on time.
+
+        Consumes no randomness, so runs with ``reliable()`` are
+        bit-for-bit identical to runs with no channel at all.
+        """
+        return cls()
+
+    @property
+    def is_reliable(self) -> bool:
+        """True when the channel can never deviate from perfect links."""
+        return self._drop == 0.0 and self._dup == 0.0 and self._jitter == 0
+
+    @property
+    def is_fair(self) -> bool:
+        """True when loss provably stops (no drops, or a finite budget)."""
+        return self._drop == 0.0 or self._max_drops is not None
+
+    @property
+    def drop_budget(self) -> Optional[int]:
+        """The ``max_drops`` bound (``None`` when loss is unbounded).
+
+        Engines size their round/event budgets from this: every drop
+        can cost one heartbeat repair cycle, so a fair channel's repair
+        work is proportional to its drop budget.
+        """
+        return self._max_drops
+
+    @property
+    def max_jitter(self) -> int:
+        """The upper bound on per-copy extra delivery delay."""
+        return self._jitter
+
+    def copies(self) -> Tuple[int, ...]:
+        """Delay offsets of the copies of one message that arrive.
+
+        ``()`` means the message was dropped outright; ``(0,)`` one
+        on-time copy; an extra entry ``>= 1`` is a late duplicate.  The
+        reliable channel returns ``(0,)`` without touching the rng.
+        """
+        if self.is_reliable:
+            return _ON_TIME
+        offsets = []
+        dropped = False
+        if self._drop > 0.0 and self._rng.random() < self._drop:
+            if self._max_drops is None or self.drops < self._max_drops:
+                dropped = True
+                self.drops += 1
+        if not dropped:
+            offsets.append(self._jitter_draw())
+        if self._dup > 0.0 and self._rng.random() < self._dup:
+            self.duplicates += 1
+            offsets.append(1 + self._jitter_draw())
+        return tuple(offsets)
+
+    def _jitter_draw(self) -> int:
+        if self._jitter == 0:
+            return 0
+        return int(self._rng.integers(0, self._jitter + 1))
+
+    def __repr__(self) -> str:
+        if self.is_reliable:
+            return "ChannelModel.reliable()"
+        return (
+            f"ChannelModel(drop_prob={self._drop}, dup_prob={self._dup}, "
+            f"jitter={self._jitter}, max_drops={self._max_drops})"
+        )

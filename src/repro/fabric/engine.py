@@ -31,25 +31,65 @@ front instead of the node count.  ``active_set=False`` restores literal
 full stepping; ``debug_full_check=True`` steps the skipped nodes too
 and raises if any of them was *not* a no-op, which is how the property
 suite certifies new protocols for active-set execution.
+
+Dynamic faults and lossy channels
+---------------------------------
+A :class:`~repro.faults.schedule.FaultSchedule` lets nodes crash
+mid-run: a crash at time *t* strikes before round *t* executes — the
+node's program is dropped, pending traffic addressed to it is
+discarded, and each surviving neighbour's
+:class:`~repro.fabric.program.NodeContext` is updated and the
+neighbour re-activated (active-set exact: only the crash neighbourhood
+can have new rule inputs).  When the network is quiescent but crash
+events remain, the engine fast-forwards the clock to the next event
+instead of executing idle rounds, so statistics stay dense.
+
+A :class:`~repro.fabric.channel.ChannelModel` degrades the links at the
+posting boundary: dropped copies never arrive, duplicates and jittered
+copies arrive in later rounds.  Whenever the network drains while drops
+are outstanding, the engine fires a *heartbeat* — every program's
+:meth:`~repro.fabric.program.NodeProgram.resend` re-announces current
+state — which repairs lost updates; over any lossy-but-fair channel the
+protocols therefore converge to exactly the from-scratch fixpoint on
+the final fault set (property tested).  ``schedule=None`` with a
+reliable (or absent) channel is bit-for-bit the historical behaviour.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Mapping
+from collections import deque
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import ProtocolError
+from repro.fabric.channel import ChannelModel
+from repro.faults.schedule import FaultSchedule
 from repro.fabric.program import NodeContext, NodeProgram
-from repro.fabric.stats import RunStats
+from repro.fabric.stats import EpochStats, RunStats
 from repro.fabric.trace import RoundTrace
 from repro.mesh.topology import Topology
 from repro.types import Coord
 
-__all__ = ["SynchronousEngine", "EngineResult"]
+__all__ = ["SynchronousEngine", "EngineResult", "build_neighbor_sets"]
 
 #: Builds the per-node program from its context.
 ProgramFactory = Callable[[NodeContext], NodeProgram]
 
 _EMPTY_INBOX: Dict[Coord, Any] = {}
+
+#: Per-destination inboxes keyed by sender.
+Boxes = Dict[Coord, Dict[Coord, Any]]
+
+
+def build_neighbor_sets(
+    topology: Topology, coords: Iterable[Coord]
+) -> Dict[Coord, frozenset]:
+    """Frozen neighbour sets for the given nodes, computed once.
+
+    Topology neighbourhoods are immutable for a run (crashes change the
+    *fault view*, not the wiring), so both engines precompute these at
+    construction instead of rebuilding a set per posted message batch.
+    """
+    return {c: frozenset(topology.neighbors(c)) for c in coords}
 
 
 class EngineResult:
@@ -76,13 +116,13 @@ class SynchronousEngine:
     topology:
         The mesh or torus the programs run on.
     faulty:
-        Addresses of faulty nodes; these host no program.
+        Addresses of nodes faulty from the start; these host no program.
     factory:
         Called once per nonfaulty node with its :class:`NodeContext`.
     max_rounds:
-        Safety budget.  ``None`` uses the node count + 4 — a true upper
-        bound for monotone status protocols, where every changing round
-        flips at least one node.
+        Safety budget on executed rounds.  ``None`` uses the node count
+        + 4 per epoch (idle stretches between crash events are
+        compressed, so the budget scales with the work actually done).
     record_trace:
         When True, snapshot every node after every round (expensive;
         meant for debugging and the examples' visualisations).
@@ -97,24 +137,52 @@ class SynchronousEngine:
         empty inbox and raise :class:`~repro.errors.ProtocolError` if it
         changed state or emitted a deliverable message — i.e. if
         active-set execution would have diverged from full stepping.
+    schedule:
+        Optional :class:`~repro.faults.schedule.FaultSchedule` of
+        mid-run crashes; see the module docstring.  ``None`` or an
+        empty schedule means the fault set is static.
+    channel:
+        Optional :class:`~repro.fabric.channel.ChannelModel` applied to
+        every posted message.  ``None`` (or a reliable channel) keeps
+        perfect links and consumes no randomness.
     """
 
     def __init__(
         self,
         topology: Topology,
-        faulty: frozenset[Coord] | set[Coord],
+        faulty: frozenset | set,
         factory: ProgramFactory,
         max_rounds: int | None = None,
         record_trace: bool = False,
         active_set: bool = True,
         debug_full_check: bool = False,
+        schedule: Optional["FaultSchedule"] = None,
+        channel: Optional[ChannelModel] = None,
     ):
         self._topology = topology
-        self._faulty = frozenset(faulty)
+        self._faulty: Set[Coord] = set(faulty)
         for f in self._faulty:
             topology.check(f)
+        self._events: deque = deque()
+        if schedule is not None:
+            for t, batch in schedule.batches():
+                for c in batch:
+                    topology.check(c)
+                self._events.append((t, batch))
+        self._channel = channel if channel is not None and not channel.is_reliable else None
+        # Dynamic runs record per-epoch stats; static reliable runs keep
+        # their statistics bit-for-bit as before.
+        self._dynamic = bool(self._events) or self._channel is not None
         if max_rounds is None:
-            max_rounds = topology.num_nodes + 4
+            max_rounds = (topology.num_nodes + 4) * (len(self._events) + 1)
+            if self._channel is not None and self._channel.drop_budget is not None:
+                # Every drop can cost one heartbeat repair cycle, and a
+                # cycle executes an on-time round plus the deferred tail
+                # of duplicates/jitter; size the budget accordingly so a
+                # fair-but-persistent channel converges within it.
+                max_rounds += (self._channel.drop_budget + 1) * (
+                    self._channel.max_jitter + 3
+                )
         self._max_rounds = int(max_rounds)
         self._record_trace = bool(record_trace)
         self._active_set = bool(active_set)
@@ -122,13 +190,11 @@ class SynchronousEngine:
         self._programs: Dict[Coord, NodeProgram] = {}
         for c in topology.nodes():
             if c not in self._faulty:
-                ctx = NodeContext(topology, c, self._faulty)
+                ctx = NodeContext(topology, c, frozenset(self._faulty))
                 self._programs[c] = factory(ctx)
         # Neighbour sets are immutable for the run; computing them once
         # here keeps _post() from rebuilding a set per message batch.
-        self._neighbor_sets: Dict[Coord, frozenset[Coord]] = {
-            c: frozenset(topology.neighbors(c)) for c in self._programs
-        }
+        self._neighbor_sets = build_neighbor_sets(topology, self._programs)
 
     @property
     def topology(self) -> Topology:
@@ -138,6 +204,9 @@ class SynchronousEngine:
     def run(self) -> EngineResult:
         """Execute rounds until quiescence; return snapshots and stats.
 
+        Quiescence means: a round changed no state, no delayed copies or
+        crash events remain, and no dropped message is unrepaired.
+
         Raises
         ------
         ProtocolError
@@ -145,57 +214,189 @@ class SynchronousEngine:
             node is given a program, or the round budget is exhausted
             (which, for the monotone labeling protocols, indicates a
             bug rather than slow convergence), or ``debug_full_check``
-            catches a skipped node that was not a no-op.
+            catches a skipped node that was not a no-op, or an unfair
+            channel keeps dropping heartbeats forever.
         """
         stats = RunStats()
         trace = RoundTrace() if self._record_trace else None
+        channel = self._channel
+        events = self._events
+
+        # Baselines first: drops during the initial announcements below
+        # must count (and be heartbeat-repaired) like any later loss.
+        drops_base = channel.drops if channel is not None else 0
+        dups_base = channel.duplicates if channel is not None else 0
+        drops_acked = drops_base  # drops repaired by (or predating) a heartbeat
+        epoch_drop_base, epoch_dup_base = drops_base, dups_base
 
         # Round 1's inboxes come from start().  Inbox dicts are created
         # on demand, so a quiescent network carries no per-node state.
-        pending: Dict[Coord, Dict[Coord, Any]] = {}
+        pending: Boxes = {}
+        deferred: Dict[int, Boxes] = {}  # delivery clock -> boxes (lossy only)
         for coord, prog in self._programs.items():
-            self._post(coord, prog.start(), pending)
+            self._post(coord, prog.start(), pending, deferred, clock=0)
 
         if trace is not None:
             trace.record(0, {c: p.snapshot() for c, p in self._programs.items()})
+        if self._dynamic:
+            stats.epochs.append(EpochStats())
 
         # Round 1 steps everyone: a rule can fire on the initial state
         # alone (e.g. a node surrounded by faulty links), with no inbox.
-        active = set(self._programs)
-        for round_no in range(1, self._max_rounds + 1):
+        active: Set[Coord] = set(self._programs)
+        clock = 0      # virtual round number (crash times live on this axis)
+        executed = 0   # rounds actually stepped (stats index, budget)
+        while True:
+            # -- pick the clock tick of the next executed round ------------
+            if pending or active:
+                tick = clock + 1
+            else:
+                candidates = []
+                if deferred:
+                    candidates.append(min(deferred))
+                if events:
+                    # idle until the next crash strikes (compressed)
+                    candidates.append(max(events[0][0], clock + 1))
+                if candidates:
+                    tick = min(candidates)
+                elif channel is not None and channel.drops > drops_acked:
+                    # Heartbeat: the network drained but some status
+                    # update was lost — re-announce everyone's state.
+                    stats.heartbeats += 1
+                    if stats.heartbeats > self._max_rounds:
+                        raise ProtocolError(
+                            f"channel kept dropping: {stats.heartbeats} "
+                            "heartbeats without reaching quiescence "
+                            "(is the channel fair?)"
+                        )
+                    drops_acked = channel.drops
+                    for coord, prog in self._programs.items():
+                        self._post(coord, prog.resend(), pending, deferred, clock)
+                    continue
+                else:
+                    break  # truly quiescent
+
+            if executed >= self._max_rounds:
+                raise ProtocolError(
+                    f"engine did not quiesce within {self._max_rounds} rounds"
+                )
+
+            # -- crashes scheduled at or before this tick strike first -----
+            if events and events[0][0] <= tick:
+                batch: List[Coord] = []
+                while events and events[0][0] <= tick:
+                    batch.extend(events.popleft()[1])
+                applied, woken = self._apply_crashes(sorted(batch), pending, deferred)
+                active -= set(applied)
+                active |= woken
+                if self._dynamic:
+                    ep = stats.epochs[-1]
+                    ep.dropped = (channel.drops if channel else 0) - epoch_drop_base
+                    ep.duplicated = (
+                        channel.duplicates if channel else 0
+                    ) - epoch_dup_base
+                    epoch_drop_base = channel.drops if channel else 0
+                    epoch_dup_base = channel.duplicates if channel else 0
+                    stats.epochs.append(
+                        EpochStats(crashed=tuple(applied), at_time=tick)
+                    )
+
+            # -- delayed copies due now join the round's inboxes -----------
+            if deferred:
+                for t in sorted(k for k in deferred if k <= tick):
+                    for dest, box in deferred.pop(t).items():
+                        if dest in self._faulty:
+                            continue
+                        target = pending.setdefault(dest, {})
+                        for sender, payload in box.items():
+                            # an on-time copy beats a late duplicate
+                            target.setdefault(sender, payload)
+
+            # -- execute one round at clock = tick -------------------------
             delivered = sum(len(v) for v in pending.values())
             if self._active_set:
                 step_coords = sorted(active | pending.keys())
             else:
                 step_coords = list(self._programs)
-            nxt: Dict[Coord, Dict[Coord, Any]] = {}
+            nxt: Boxes = {}
             changes = 0
-            changed_now: set[Coord] = set()
+            changed_now: Set[Coord] = set()
             for coord in step_coords:
                 inbox = pending.get(coord, _EMPTY_INBOX)
                 outgoing, changed = self._programs[coord].on_round(inbox)
                 if changed:
                     changes += 1
                     changed_now.add(coord)
-                self._post(coord, outgoing, nxt)
+                self._post(coord, outgoing, nxt, deferred, clock=tick)
             if self._active_set and self._debug_full_check:
                 self._check_skipped(step_coords)
             pending = nxt
             active = changed_now
+            clock = tick
+            executed += 1
             stats.messages_per_round.append(delivered)
             stats.changes_per_round.append(changes)
+            if changes:
+                stats.rounds += 1
+            if self._dynamic:
+                ep = stats.epochs[-1]
+                ep.executed_rounds += 1
+                ep.messages += delivered
+                if changes:
+                    ep.rounds += 1
             if trace is not None:
                 trace.record(
-                    round_no, {c: p.snapshot() for c, p in self._programs.items()}
+                    executed, {c: p.snapshot() for c, p in self._programs.items()}
                 )
-            if changes == 0:
-                snapshots = {c: p.snapshot() for c, p in self._programs.items()}
-                stats.rounds = round_no - 1
-                return EngineResult(snapshots, stats, trace)
+            if (
+                changes == 0
+                and not deferred
+                and not events
+                and not (channel is not None and channel.drops > drops_acked)
+            ):
+                break
 
-        raise ProtocolError(
-            f"engine did not quiesce within {self._max_rounds} rounds"
-        )
+        if self._dynamic:
+            ep = stats.epochs[-1]
+            ep.dropped = (channel.drops if channel else 0) - epoch_drop_base
+            ep.duplicated = (channel.duplicates if channel else 0) - epoch_dup_base
+        if channel is not None:
+            stats.dropped_messages = channel.drops - drops_base
+            stats.duplicated_messages = channel.duplicates - dups_base
+        snapshots = {c: p.snapshot() for c, p in self._programs.items()}
+        return EngineResult(snapshots, stats, trace)
+
+    def _apply_crashes(
+        self,
+        batch: List[Coord],
+        pending: Boxes,
+        deferred: Dict[int, Boxes],
+    ) -> Tuple[List[Coord], Set[Coord]]:
+        """Kill the nodes in ``batch``; return (applied, neighbours to wake).
+
+        Crashing an already-dead node is a no-op.  In-flight traffic
+        *to* a crashed node is discarded; traffic it sent earlier is
+        already in the network and still delivered (its payloads are
+        stale-but-valid statuses, which monotone receivers absorb
+        safely).
+        """
+        applied: List[Coord] = []
+        for c in batch:
+            if c not in self._programs:
+                continue  # faulty from the start, or crashed earlier
+            del self._programs[c]
+            self._faulty.add(c)
+            pending.pop(c, None)
+            for boxes in deferred.values():
+                boxes.pop(c, None)
+            applied.append(c)
+        woken: Set[Coord] = set()
+        for c in applied:
+            for n in self._neighbor_sets[c]:
+                prog = self._programs.get(n)
+                if prog is not None and prog.ctx.mark_faulty(c):
+                    woken.add(n)
+        return applied, woken
 
     def _check_skipped(self, stepped) -> None:
         """Assert every node skipped this round was a genuine no-op."""
@@ -218,12 +419,17 @@ class SynchronousEngine:
         self,
         sender: Coord,
         outgoing: Mapping[Coord, Any],
-        boxes: Dict[Coord, Dict[Coord, Any]],
+        boxes: Boxes,
+        deferred: Dict[int, Boxes],
+        clock: int,
     ) -> None:
-        """Validate and enqueue one node's outgoing messages."""
+        """Validate one node's outgoing messages and enqueue the copies
+        the channel lets through (every copy, exactly on time, for
+        reliable links)."""
         if not outgoing:
             return
         neighbors = self._neighbor_sets[sender]
+        channel = self._channel
         for dest, payload in outgoing.items():
             if dest not in neighbors:
                 raise ProtocolError(
@@ -231,7 +437,16 @@ class SynchronousEngine:
                 )
             if dest in self._faulty:
                 continue  # faulty nodes silently drop traffic
-            box = boxes.get(dest)
-            if box is None:
-                box = boxes[dest] = {}
-            box[sender] = payload
+            if channel is None:
+                box = boxes.get(dest)
+                if box is None:
+                    box = boxes[dest] = {}
+                box[sender] = payload
+            else:
+                for offset in channel.copies():
+                    if offset == 0:
+                        boxes.setdefault(dest, {})[sender] = payload
+                    else:
+                        deferred.setdefault(clock + 1 + offset, {}).setdefault(
+                            dest, {}
+                        )[sender] = payload

@@ -78,6 +78,32 @@ class NodeContext:
         """Number of faulty neighbours along one dimension."""
         return sum(1 for n in self._faulty if _same_dim(self.coord, n, dim))
 
+    def mark_faulty(self, n: Coord) -> bool:
+        """Record that live neighbour ``n`` has crashed mid-run.
+
+        Called by the engines when a :class:`~repro.faults.schedule.FaultSchedule`
+        event strikes: the node's local fault-detection hardware notices
+        the dead link and the context's view shifts accordingly —
+        ``n`` leaves :attr:`live_neighbors` and joins
+        :attr:`faulty_neighbors`.  On degenerate tori a neighbour can be
+        reached over two links (both wrap-around directions); every copy
+        moves, keeping per-dimension counts consistent with the
+        vectorized backend's shifted views.
+
+        Returns True when the view changed, False when ``n`` was not a
+        live neighbour (already faulty, or not adjacent) — callers may
+        apply crash batches without tracking adjacency themselves.
+        """
+        copies = self._live.count(n)
+        if copies == 0:
+            return False
+        self._live = tuple(v for v in self._live if v != n)
+        self._faulty = self._faulty + (n,) * copies
+        self._live_by_dim = {
+            d: tuple(v for v in vs if v != n) for d, vs in self._live_by_dim.items()
+        }
+        return True
+
 
 def _same_dim(u: Coord, v: Coord, dim: Dimension) -> bool:
     # Neighbours differ in exactly one coordinate; they are dim-neighbours
@@ -119,3 +145,16 @@ class NodeProgram(abc.ABC):
     @abc.abstractmethod
     def snapshot(self) -> Any:
         """Externally visible state for result collection."""
+
+    def resend(self) -> Mapping[Coord, Any]:
+        """Heartbeat: re-announce the node's current state to neighbours.
+
+        The engines call this when the network drains while dropped
+        messages are outstanding — the retransmission that makes the
+        protocols self-stabilizing over lossy-but-fair channels.  The
+        default delegates to :meth:`start`, which for status-exchange
+        protocols already means "current status to every live
+        neighbour"; override only if ``start`` carries one-shot setup
+        that must not repeat.
+        """
+        return self.start()

@@ -5,19 +5,67 @@ labeling needs; :class:`RunStats` is where the engine records that,
 along with message counts that characterise the protocol's communication
 cost (not plotted in the paper but routinely reported for such
 algorithms).
+
+Dynamic runs — a :class:`~repro.faults.schedule.FaultSchedule` injecting
+crashes mid-protocol, or a lossy
+:class:`~repro.fabric.channel.ChannelModel` — additionally record one
+:class:`EpochStats` per convergence epoch: the stretch of execution
+between consecutive crash batches.  Epoch entries make recovery cost
+directly measurable (how many extra rounds and messages each fault
+event triggered).  Static, reliable runs leave ``epochs`` empty, so
+their statistics are bit-for-bit what they always were.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Tuple
 
-__all__ = ["RunStats"]
+from repro.types import Coord
+
+__all__ = ["EpochStats", "RunStats"]
+
+
+@dataclass
+class EpochStats:
+    """Cost of one convergence epoch of a dynamic run.
+
+    An epoch starts when a crash batch strikes (or at round 1 for the
+    first epoch) and ends at the next batch or at final quiescence.
+
+    Attributes
+    ----------
+    crashed:
+        The nodes whose crash opened this epoch (empty for the first).
+    at_time:
+        The engine clock when the crashes struck: a round number for
+        the synchronous engine, a virtual time for the asynchronous
+        one.  0 for the first epoch.
+    rounds:
+        State-changing rounds (synchronous) or state-changing delivery
+        events (asynchronous) within the epoch — the recovery cost in
+        the same unit as :attr:`RunStats.rounds`.
+    executed_rounds:
+        Rounds executed (synchronous) or deliveries processed
+        (asynchronous) within the epoch.
+    messages:
+        Messages delivered within the epoch.
+    dropped, duplicated:
+        Channel losses and duplicate injections charged to the epoch.
+    """
+
+    crashed: Tuple[Coord, ...] = ()
+    at_time: int = 0
+    rounds: int = 0
+    executed_rounds: int = 0
+    messages: int = 0
+    dropped: int = 0
+    duplicated: int = 0
 
 
 @dataclass
 class RunStats:
-    """Statistics of one synchronous-engine run.
+    """Statistics of one engine run.
 
     Attributes
     ----------
@@ -25,17 +73,31 @@ class RunStats:
         Number of exchange-and-update rounds in which at least one node
         changed its externally visible state — the paper's "repeat ...
         until there is no status change" iteration count.  A run whose
-        very first round changes nothing reports 0.
+        very first round changes nothing reports 0.  (The asynchronous
+        engine reports state-changing delivery events instead.)
     messages_per_round:
         Messages delivered in each executed round (including the final,
         quiescent round that detected convergence).
     changes_per_round:
         Number of nodes that reported a state change in each round.
+    epochs:
+        Per-epoch recovery statistics; populated only by dynamic runs
+        (a fault schedule or a non-reliable channel), empty otherwise.
+    dropped_messages, duplicated_messages:
+        Channel loss/duplication totals for this run (0 on reliable
+        links).
+    heartbeats:
+        Status-change heartbeats the engine fired to repair message
+        loss (0 on reliable links).
     """
 
     rounds: int = 0
     messages_per_round: List[int] = field(default_factory=list)
     changes_per_round: List[int] = field(default_factory=list)
+    epochs: List[EpochStats] = field(default_factory=list)
+    dropped_messages: int = 0
+    duplicated_messages: int = 0
+    heartbeats: int = 0
 
     @property
     def total_messages(self) -> int:
@@ -46,3 +108,8 @@ class RunStats:
     def executed_rounds(self) -> int:
         """Rounds the engine actually executed, including the quiescent one."""
         return len(self.changes_per_round)
+
+    @property
+    def recovery_rounds(self) -> int:
+        """Changing rounds spent re-converging after crashes (epochs 2+)."""
+        return sum(e.rounds for e in self.epochs[1:])

@@ -1,8 +1,10 @@
-"""Fault modelling: fault sets and workload generators.
+"""Fault modelling: fault sets, dynamic crash schedules, generators.
 
 Node-fault injection per the paper's model (faulty nodes cease to work;
 link faults reduce to node faults), plus the random, clustered,
-rectangular and shaped fault patterns used across the benchmarks.
+rectangular and shaped fault patterns used across the benchmarks, and
+:class:`~repro.faults.schedule.FaultSchedule` for crashes that strike
+mid-protocol (the dynamic regime of Section 6's discussion).
 """
 
 from repro.faults.faultset import FaultSet
@@ -11,14 +13,18 @@ from repro.faults.generators import (
     combined,
     rectangle_outage,
     shaped,
+    staggered_crashes,
     uniform_random,
 )
+from repro.faults.schedule import FaultSchedule
 
 __all__ = [
+    "FaultSchedule",
     "FaultSet",
     "clustered",
     "combined",
     "rectangle_outage",
     "shaped",
+    "staggered_crashes",
     "uniform_random",
 ]

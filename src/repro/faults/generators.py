@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.errors import FaultModelError
 from repro.faults.faultset import FaultSet
+from repro.faults.schedule import FaultSchedule
 from repro.geometry import shapes as _shapes
 from repro.geometry.cells import CellSet
 from repro.types import Coord
@@ -29,6 +30,7 @@ __all__ = [
     "rectangle_outage",
     "shaped",
     "combined",
+    "staggered_crashes",
 ]
 
 _SHAPE_BUILDERS = {
@@ -172,3 +174,26 @@ def combined(parts: Sequence[FaultSet]) -> FaultSet:
     for p in parts[1:]:
         out = out.union(p.cells)
     return FaultSet(out)
+
+
+def staggered_crashes(
+    crashes: FaultSet,
+    rng: np.random.Generator,
+    max_time: int = 10,
+    min_time: int = 1,
+) -> FaultSchedule:
+    """Turn a fault pattern into a dynamic crash schedule.
+
+    Every node of ``crashes`` is assigned an independent uniform crash
+    time in ``[min_time, max_time]``, so any of this module's pattern
+    generators doubles as a *dynamic-fault* workload: draw the pattern,
+    then stagger it over the run.  Deterministic given the generator
+    state, like everything else here.
+    """
+    if min_time < 1 or max_time < min_time:
+        raise FaultModelError(
+            f"need 1 <= min_time <= max_time, got [{min_time}, {max_time}]"
+        )
+    coords = sorted(crashes)
+    times = rng.integers(min_time, max_time + 1, size=len(coords))
+    return FaultSchedule((int(t), c) for t, c in zip(times, coords))

@@ -1,0 +1,170 @@
+"""Dynamic fault schedules: which nodes crash, and when.
+
+The paper freezes the fault set before round 0 ("faulty nodes just
+cease to work", Section 2).  A :class:`FaultSchedule` lifts that
+restriction: it maps protocol time — synchronous round numbers, or the
+asynchronous engine's virtual clock — to the nodes that crash at that
+instant.  Both fabric engines consume a schedule and let nodes die
+mid-protocol: the crashed node's program is dropped, in-flight traffic
+addressed to it is discarded, and each surviving neighbour observes the
+change through its :class:`~repro.fabric.program.NodeContext` fault
+view and is re-activated so the monotone labeling rules re-converge.
+
+Schedules are immutable and validated at construction: crash times are
+positive integers (time ``t`` strikes before the round/deliveries at
+``t``), and a node crashes at most once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.errors import FaultModelError
+from repro.faults.faultset import FaultSet
+from repro.types import Coord
+
+__all__ = ["FaultSchedule"]
+
+
+class FaultSchedule:
+    """An immutable map from crash time to the nodes that die then.
+
+    Construct from an iterable of ``(time, coord)`` events; events at
+    the same time form one *batch* and strike together.  An empty
+    schedule is falsy and reproduces static-fault behaviour exactly.
+    """
+
+    __slots__ = ("_batches",)
+
+    def __init__(self, events: Iterable[Tuple[int, Coord]] = ()):
+        by_time: Dict[int, Set[Coord]] = {}
+        seen: Dict[Coord, int] = {}
+        for time, coord in events:
+            t = int(time)
+            if t < 1:
+                raise FaultModelError(
+                    f"crash times must be >= 1 (time {t} for node {coord}); "
+                    "faults present from the start belong in the FaultSet"
+                )
+            c = (int(coord[0]), int(coord[1]))
+            if c in seen:
+                if seen[c] != t:
+                    raise FaultModelError(
+                        f"node {c} is scheduled to crash twice "
+                        f"(times {seen[c]} and {t})"
+                    )
+                continue  # exact duplicate event: merge
+            seen[c] = t
+            by_time.setdefault(t, set()).add(c)
+        self._batches: Tuple[Tuple[int, FrozenSet[Coord]], ...] = tuple(
+            (t, frozenset(by_time[t])) for t in sorted(by_time)
+        )
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "FaultSchedule":
+        """The schedule with no crash events (static faults)."""
+        return cls(())
+
+    @classmethod
+    def at(cls, time: int, coords: Iterable[Coord]) -> "FaultSchedule":
+        """All of ``coords`` crash together at ``time``."""
+        return cls((time, c) for c in coords)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultSchedule":
+        """Parse a CLI spec like ``"3:4,4;3:5,5;9:0,0"``.
+
+        Entries are separated by ``;``; each is ``time:x,y``.  Empty
+        entries are ignored, so trailing separators are harmless.
+
+        Raises
+        ------
+        FaultModelError
+            On malformed entries, non-integer fields, or the usual
+            schedule validation failures.
+        """
+        events: List[Tuple[int, Coord]] = []
+        for entry in spec.split(";"):
+            entry = entry.strip()
+            if not entry:
+                continue
+            try:
+                time_part, coord_part = entry.split(":", 1)
+                x_part, y_part = coord_part.split(",", 1)
+                events.append((int(time_part), (int(x_part), int(y_part))))
+            except ValueError as exc:
+                raise FaultModelError(
+                    f"bad schedule entry {entry!r}: expected 'time:x,y'"
+                ) from exc
+        return cls(events)
+
+    # -- accessors ------------------------------------------------------------
+
+    def batches(self) -> Tuple[Tuple[int, FrozenSet[Coord]], ...]:
+        """``(time, coords)`` batches in increasing time order."""
+        return self._batches
+
+    @property
+    def times(self) -> Tuple[int, ...]:
+        """The distinct crash times, increasing."""
+        return tuple(t for t, _ in self._batches)
+
+    @property
+    def crashed(self) -> FrozenSet[Coord]:
+        """Every node the schedule ever crashes."""
+        out: Set[Coord] = set()
+        for _, batch in self._batches:
+            out |= batch
+        return frozenset(out)
+
+    def __len__(self) -> int:
+        return sum(len(batch) for _, batch in self._batches)
+
+    def __bool__(self) -> bool:
+        return bool(self._batches)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultSchedule):
+            return NotImplemented
+        return self._batches == other._batches
+
+    def __hash__(self) -> int:
+        return hash(("FaultSchedule", self._batches))
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultSchedule(crashes={len(self)}, "
+            f"batches={len(self._batches)})"
+        )
+
+    # -- derived --------------------------------------------------------------
+
+    def check_shape(self, shape: Tuple[int, int]) -> "FaultSchedule":
+        """Validate every scheduled coordinate against a grid shape.
+
+        Returns the schedule itself for chaining; raises
+        :class:`~repro.errors.FaultModelError` on the first coordinate
+        outside the grid.
+        """
+        w, h = shape
+        for t, batch in self._batches:
+            for x, y in batch:
+                if not (0 <= x < w and 0 <= y < h):
+                    raise FaultModelError(
+                        f"scheduled crash of ({x}, {y}) at time {t} lies "
+                        f"outside grid {shape}"
+                    )
+        return self
+
+    def final_faults(self, initial: FaultSet) -> FaultSet:
+        """The fault set once every scheduled crash has struck.
+
+        This is the set the self-stabilization property compares
+        against: the converged labels of a dynamic run equal the
+        from-scratch fixpoint on ``final_faults(initial)``.
+        """
+        if not self._batches:
+            return initial
+        return initial.union(FaultSet.from_coords(initial.shape, self.crashed))

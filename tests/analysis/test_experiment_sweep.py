@@ -1,9 +1,11 @@
 """Unit tests for trial orchestration and parameter sweeps."""
 
+import os
+
 import numpy as np
 import pytest
 
-from repro.analysis import run_trials, sweep, trial_rng, trial_rngs
+from repro.analysis import CellFailure, run_trials, sweep, trial_rng, trial_rngs
 
 
 def _draw(rng):
@@ -14,6 +16,21 @@ def _draw(rng):
 def _metric(value, rng):
     """Module-level metric function so worker processes can pickle it."""
     return {"double": 2.0 * value, "noise": float(rng.random())}
+
+
+def _fragile_metric(value, rng):
+    """Raises on value 13 — exercises graceful cell failure."""
+    if value == 13:
+        raise RuntimeError("unlucky value")
+    return {"double": 2.0 * value}
+
+
+def _poison_metric(value, rng):
+    """Kills its worker process outright on value 13 (parallel only):
+    os._exit bypasses exception handling, so the pool breaks."""
+    if value == 13:
+        os._exit(1)
+    return {"double": 2.0 * value}
 
 
 class TestTrialRngs:
@@ -100,3 +117,49 @@ class TestParallelHarness:
         serial = sweep([1, 2, 3], _metric, trials=4, seed=9)
         parallel = sweep([1, 2, 3], _metric, trials=4, seed=9, jobs=2)
         assert serial == parallel  # Summary dataclasses compare exactly
+
+
+class TestSweepFailures:
+    def test_raising_cell_recorded_not_fatal(self):
+        points = sweep([1, 13, 3], _fragile_metric, trials=3, seed=0)
+        assert [p.value for p in points] == [1, 13, 3]
+        assert points[0].failures == ()
+        assert points[2].failures == ()
+        assert points[0].metrics["double"].n == 3
+        # the failing value has no samples, three structured failures
+        assert points[1].metrics == {}
+        assert len(points[1].failures) == 3
+        for ti, failure in enumerate(points[1].failures):
+            assert failure == CellFailure(
+                value=13, trial=ti, error="RuntimeError: unlucky value"
+            )
+
+    def test_partial_failure_keeps_other_trials(self):
+        def flaky(value, rng):
+            if rng.random() < 0.5:
+                raise ValueError("flaked")
+            return {"ok": 1.0}
+
+        points = sweep([0], flaky, trials=30, seed=4)
+        kept = points[0].metrics.get("ok")
+        assert kept is not None and 0 < kept.n < 30
+        assert len(points[0].failures) == 30 - kept.n
+        assert all(f.error == "ValueError: flaked" for f in points[0].failures)
+
+    def test_failures_identical_serial_and_parallel(self):
+        serial = sweep([1, 13, 3], _fragile_metric, trials=3, seed=9)
+        parallel = sweep([1, 13, 3], _fragile_metric, trials=3, seed=9, jobs=2)
+        assert serial == parallel
+
+    def test_broken_pool_retried_and_reported(self):
+        # One poison cell kills its worker; the sweep must resume on a
+        # fresh pool, chalk the dead cell up as a failure, and finish
+        # the healthy values normally.
+        points = sweep([1, 13, 3], _poison_metric, trials=1, seed=0, jobs=2)
+        assert [p.value for p in points] == [1, 13, 3]
+        assert points[1].metrics == {}
+        assert len(points[1].failures) == 1
+        assert "BrokenProcessPool" in points[1].failures[0].error
+        # both healthy values fully evaluated (no trials lost)
+        assert points[0].metrics["double"].n == 1
+        assert points[2].metrics["double"].n == 1

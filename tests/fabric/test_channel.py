@@ -1,0 +1,104 @@
+"""Unit tests for :class:`repro.fabric.channel.ChannelModel`."""
+
+import numpy as np
+import pytest
+
+from repro.fabric import ChannelModel
+
+
+class TestValidation:
+    def test_probability_ranges(self):
+        with pytest.raises(ValueError, match="drop_prob"):
+            ChannelModel(drop_prob=1.5, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="dup_prob"):
+            ChannelModel(dup_prob=-0.1, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="jitter"):
+            ChannelModel(jitter=-1, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="max_drops"):
+            ChannelModel(
+                drop_prob=0.1, max_drops=-1, rng=np.random.default_rng(0)
+            )
+
+    def test_lossy_channel_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            ChannelModel(drop_prob=0.5)
+
+    def test_reliable_needs_no_rng(self):
+        ch = ChannelModel.reliable()
+        assert ch.is_reliable
+        assert ch.is_fair
+
+
+class TestReliable:
+    def test_always_one_on_time_copy(self):
+        ch = ChannelModel.reliable()
+        for _ in range(100):
+            assert ch.copies() == (0,)
+        assert ch.drops == 0
+        assert ch.duplicates == 0
+
+    def test_no_rng_consumed_when_reliable(self):
+        rng = np.random.default_rng(7)
+        ch = ChannelModel(rng=rng)
+        before = rng.bit_generator.state
+        for _ in range(20):
+            ch.copies()
+        assert rng.bit_generator.state == before
+
+
+class TestLossy:
+    def test_certain_drop(self):
+        ch = ChannelModel(drop_prob=1.0, rng=np.random.default_rng(0))
+        assert ch.copies() == ()
+        assert ch.drops == 1
+        assert not ch.is_fair
+
+    def test_certain_duplicate(self):
+        ch = ChannelModel(dup_prob=1.0, rng=np.random.default_rng(0))
+        offsets = ch.copies()
+        assert offsets == (0, 1)
+        assert ch.duplicates == 1
+
+    def test_drop_budget_exhausts(self):
+        ch = ChannelModel(
+            drop_prob=1.0, max_drops=3, rng=np.random.default_rng(0)
+        )
+        assert ch.is_fair
+        results = [ch.copies() for _ in range(6)]
+        assert results[:3] == [(), (), ()]
+        # after the budget every message gets through
+        assert results[3:] == [(0,), (0,), (0,)]
+        assert ch.drops == 3
+
+    def test_jitter_bounds(self):
+        ch = ChannelModel(jitter=3, rng=np.random.default_rng(5))
+        seen = set()
+        for _ in range(200):
+            offsets = ch.copies()
+            assert len(offsets) == 1
+            assert 0 <= offsets[0] <= 3
+            seen.add(offsets[0])
+        assert seen == {0, 1, 2, 3}
+
+    def test_seeded_reproducibility(self):
+        a = ChannelModel(
+            drop_prob=0.3, dup_prob=0.2, jitter=2, rng=np.random.default_rng(11)
+        )
+        b = ChannelModel(
+            drop_prob=0.3, dup_prob=0.2, jitter=2, rng=np.random.default_rng(11)
+        )
+        assert [a.copies() for _ in range(300)] == [
+            b.copies() for _ in range(300)
+        ]
+
+    def test_drop_rate_roughly_matches(self):
+        ch = ChannelModel(drop_prob=0.25, rng=np.random.default_rng(3))
+        n = 4000
+        for _ in range(n):
+            ch.copies()
+        assert 0.2 < ch.drops / n < 0.3
+
+    def test_repr(self):
+        assert "reliable" in repr(ChannelModel.reliable())
+        lossy = ChannelModel(drop_prob=0.5, rng=np.random.default_rng(0))
+        assert "drop_prob=0.5" in repr(lossy)

@@ -1,0 +1,106 @@
+"""Unit tests for :class:`repro.faults.schedule.FaultSchedule`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultModelError
+from repro.faults import FaultSchedule, FaultSet, staggered_crashes, uniform_random
+
+
+class TestConstruction:
+    def test_empty(self):
+        s = FaultSchedule.empty()
+        assert len(s) == 0
+        assert not s
+        assert s.batches() == ()
+        assert s.crashed == frozenset()
+
+    def test_batches_sorted_and_grouped(self):
+        s = FaultSchedule([(5, (1, 1)), (2, (0, 0)), (5, (2, 2))])
+        assert s.times == (2, 5)
+        assert s.batches() == (
+            (2, frozenset({(0, 0)})),
+            (5, frozenset({(1, 1), (2, 2)})),
+        )
+        assert len(s) == 3
+        assert s
+
+    def test_at_builder(self):
+        s = FaultSchedule.at(3, [(1, 2), (3, 4)])
+        assert s.crashed == frozenset({(1, 2), (3, 4)})
+        assert s.times == (3,)
+
+    def test_time_must_be_positive(self):
+        with pytest.raises(FaultModelError, match="time"):
+            FaultSchedule([(0, (1, 1))])
+        with pytest.raises(FaultModelError, match="time"):
+            FaultSchedule([(-3, (1, 1))])
+
+    def test_node_crashes_at_most_once(self):
+        # exact duplicates merge ...
+        s = FaultSchedule([(2, (1, 1)), (2, (1, 1))])
+        assert len(s) == 1
+        # ... conflicting times do not
+        with pytest.raises(FaultModelError, match="crash twice"):
+            FaultSchedule([(2, (1, 1)), (5, (1, 1))])
+
+    def test_equality_and_hash(self):
+        a = FaultSchedule([(2, (1, 1)), (4, (0, 3))])
+        b = FaultSchedule([(4, (0, 3)), (2, (1, 1))])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != FaultSchedule([(2, (1, 1))])
+
+
+class TestParse:
+    def test_round_trip(self):
+        s = FaultSchedule.parse("3:4,4;3:5,5;9:0,0")
+        assert s.batches() == (
+            (3, frozenset({(4, 4), (5, 5)})),
+            (9, frozenset({(0, 0)})),
+        )
+
+    def test_empty_string(self):
+        assert FaultSchedule.parse("") == FaultSchedule.empty()
+        assert FaultSchedule.parse("  ") == FaultSchedule.empty()
+
+    def test_bad_specs(self):
+        for spec in ["3", "3:4", "x:1,2", "3:a,b", "3:1,2,3"]:
+            with pytest.raises(FaultModelError):
+                FaultSchedule.parse(spec)
+
+
+class TestShapeAndFinal:
+    def test_check_shape_accepts_and_chains(self):
+        s = FaultSchedule([(2, (4, 4))])
+        assert s.check_shape((5, 5)) is s
+
+    def test_check_shape_rejects(self):
+        s = FaultSchedule([(2, (5, 4))])
+        with pytest.raises(FaultModelError, match="outside"):
+            s.check_shape((5, 5))
+
+    def test_final_faults_union(self):
+        initial = FaultSet.from_coords((4, 4), [(0, 0)])
+        s = FaultSchedule([(2, (1, 1)), (3, (0, 0))])  # (0,0) already down
+        final = s.final_faults(initial)
+        assert set(final) == {(0, 0), (1, 1)}
+
+
+class TestStaggeredCrashes:
+    def test_times_in_range_and_deterministic(self):
+        crashes = uniform_random((10, 10), 7, np.random.default_rng(0))
+        a = staggered_crashes(crashes, np.random.default_rng(1), max_time=6)
+        b = staggered_crashes(crashes, np.random.default_rng(1), max_time=6)
+        assert a == b
+        assert a.crashed == frozenset(crashes)
+        assert all(1 <= t <= 6 for t in a.times)
+
+    def test_bad_window(self):
+        crashes = uniform_random((10, 10), 3, np.random.default_rng(0))
+        with pytest.raises(FaultModelError):
+            staggered_crashes(crashes, np.random.default_rng(1), max_time=0)
+        with pytest.raises(FaultModelError):
+            staggered_crashes(
+                crashes, np.random.default_rng(1), min_time=5, max_time=4
+            )
