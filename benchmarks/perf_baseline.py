@@ -8,6 +8,9 @@ Times the hot paths this repository optimises —
   faults),
 * the fabric engine, full stepping vs active-set stepping,
 * a Figure-5-style sweep slice, serial vs process-parallel,
+* the telemetry guard overhead: the same pipeline with telemetry off
+  (``telemetry=None``) vs a null-sink telemetry exercising every emit
+  site — the off path must stay within the 2% acceptance budget,
 
 verifies that every fast path reproduces the reference results exactly,
 and writes ``BENCH_perf.json`` at the repository root so successive PRs
@@ -42,6 +45,7 @@ from repro.core.safety import unsafe_fixpoint
 from repro.core.status import SafetyDefinition
 from repro.faults.generators import clustered, uniform_random
 from repro.mesh.topology import Mesh2D
+from repro.obs.telemetry import Telemetry
 
 
 def _best_of(fn, repeats: int = 3):
@@ -189,6 +193,50 @@ def bench_sweep(size: int, f_values, trials: int, jobs: int) -> dict:
     }
 
 
+def bench_telemetry(size: int, f: int, repeats: int) -> dict:
+    """Pipeline with telemetry off vs routed into a null sink.
+
+    The off leg is the acceptance criterion: instrumentation must cost
+    the untraced pipeline < 2% (pure guard branches).  The null-sink leg
+    measures the full emit path (event construction + fan-out) for
+    reference; it is allowed to cost more.
+    """
+    topo = Mesh2D(size, size)
+    faults = clustered(
+        topo.shape, f, np.random.default_rng(20010423), clusters=3, spread=2.0
+    )
+
+    # Interleave the two legs so clock drift between measurement blocks
+    # cannot masquerade as overhead; a percent-level delta needs more
+    # samples than the headline benchmarks.
+    t_off = t_null = float("inf")
+    ref = traced = None
+    for _ in range(max(2 * repeats, 7)):
+        t0 = time.perf_counter()
+        ref = label_mesh(topo, faults)
+        t_off = min(t_off, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        traced = label_mesh(topo, faults, telemetry=Telemetry.null())
+        t_null = min(t_null, time.perf_counter() - t0)
+    assert np.array_equal(ref.labels.unsafe, traced.labels.unsafe) and np.array_equal(
+        ref.labels.enabled, traced.labels.enabled
+    ), "telemetry changed the pipeline's labels"
+
+    overhead = (t_null - t_off) / t_off if t_off > 0 else 0.0
+    print(
+        f"{'pipeline off vs null-sink':>28}: {t_off * 1e3:9.2f} ms -> "
+        f"{t_null * 1e3:9.2f} ms ({100 * overhead:+.1f}%)"
+    )
+    return {
+        "mesh": f"{size}x{size}",
+        "faults": f,
+        "fault_model": "clustered",
+        "telemetry_off_s": round(t_off, 6),
+        "telemetry_null_sink_s": round(t_null, 6),
+        "null_sink_overhead": round(overhead, 4),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -224,6 +272,7 @@ def main(argv=None) -> int:
         "kernels": bench_kernels(kernel_size, kernel_f, repeats),
         "fabric": bench_fabric(fabric_size, fabric_f, repeats),
         "sweep": bench_sweep(sweep_size, sweep_fs, sweep_trials, args.jobs),
+        "telemetry": bench_telemetry(kernel_size, kernel_f, repeats),
     }
 
     out = pathlib.Path(args.out)

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.analysis.experiment import trial_rng
 from repro.analysis.stats import Summary, summarize
+from repro.obs.telemetry import Telemetry
 
 __all__ = ["CellFailure", "SweepPoint", "sweep"]
 
@@ -126,6 +127,7 @@ def sweep(
     trials: int = 10,
     seed: int = 0,
     jobs: int = 1,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[SweepPoint]:
     """Evaluate ``fn(value, rng) -> {metric: number}`` over a value grid.
 
@@ -136,6 +138,15 @@ def sweep(
     results (see module docstring).  A raising cell is recorded on its
     point's ``failures`` instead of aborting the sweep — identically in
     serial and parallel runs.
+
+    ``telemetry`` (optional) profiles the evaluation (a ``sweep_cell``
+    span per cell serially, one ``sweep_eval`` span per pool batch),
+    counts ``sweep_cells_total`` / ``sweep_cell_failures_total``, and
+    emits one ``sweep_cell`` event per cell — carrying the cell's
+    metrics, or the captured :class:`CellFailure` error when the metric
+    function raised.  Events are emitted during the deterministic
+    aggregation pass in the parent process, so a traced parallel sweep
+    logs in exactly the serial (value, trial) order.
     """
     if trials < 1:
         raise ValueError(f"need at least one trial, got {trials}")
@@ -144,19 +155,49 @@ def sweep(
         for vi, value in enumerate(values)
         for ti in range(trials)
     ]
+    tel = telemetry
+    spans_on = tel is not None and tel.spans is not None
     if jobs <= 1:
-        rows = [_eval_cell(task) for task in tasks]
+        if spans_on:
+            rows = []
+            for task in tasks:
+                with tel.spans.span("sweep_cell", value=task[1], trial=task[3]):
+                    rows.append(_eval_cell(task))
+        else:
+            rows = [_eval_cell(task) for task in tasks]
+    elif spans_on:
+        with tel.spans.span("sweep_eval", jobs=jobs, cells=len(tasks)):
+            rows = _eval_parallel(tasks, jobs)
     else:
         rows = _eval_parallel(tasks, jobs)
 
+    events_on = tel is not None and tel.wants("info")
+    cells_meter = tel.counter("sweep_cells_total") if tel is not None else None
+    fails_meter = (
+        tel.counter("sweep_cell_failures_total") if tel is not None else None
+    )
     points: List[SweepPoint] = []
     for vi, value in enumerate(values):
         samples: Dict[str, List[float]] = {}
         failures: List[CellFailure] = []
         for ti, row in enumerate(rows[vi * trials : (vi + 1) * trials]):
+            if cells_meter is not None:
+                cells_meter.inc()
             if isinstance(row, _CellError):
                 failures.append(CellFailure(value=value, trial=ti, error=row.error))
+                if fails_meter is not None:
+                    fails_meter.inc()
+                if events_on:
+                    tel.emit(
+                        "sweep_cell",
+                        value=value,
+                        trial=ti,
+                        ok=False,
+                        error=row.error,
+                    )
                 continue
+            if events_on:
+                tel.emit("sweep_cell", value=value, trial=ti, ok=True, metrics=row)
             for key, num in row.items():
                 samples.setdefault(key, []).append(float(num))
         points.append(

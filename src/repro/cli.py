@@ -7,7 +7,14 @@ Exposes the library's main workflows without writing any Python:
 * ``fig5``      — run the paper's Figure-5 sweep and print the table;
 * ``route``     — compare routing under the block and region models;
 * ``density``   — the fault-density / percolation study;
-* ``partition`` — run the open-problem cover heuristics on random faults.
+* ``partition`` — run the open-problem cover heuristics on random faults;
+* ``obs``       — validate and summarize telemetry artefacts.
+
+``label`` can record telemetry: ``--trace-out`` writes the structured
+event log (JSONL), ``--metrics-out`` the metrics-registry snapshot,
+``--spans-out`` a Chrome trace-event profile and ``--stats-out`` the
+engine statistics; ``repro obs summarize <trace.jsonl>`` rebuilds the
+per-epoch recovery report from the event log alone.
 
 All commands accept ``--seed`` and are fully reproducible.
 """
@@ -102,6 +109,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seed for the lossy channel (default: derived from --seed)",
     )
+    p_label.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write the structured event log as JSONL",
+    )
+    p_label.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write the metrics-registry snapshot as JSON",
+    )
+    p_label.add_argument(
+        "--spans-out",
+        metavar="FILE",
+        help="write the profiling spans as Chrome trace-event JSON",
+    )
+    p_label.add_argument(
+        "--stats-out",
+        metavar="FILE",
+        help="write the run statistics (RunStats per phase) as JSON",
+    )
+    p_label.add_argument(
+        "--log-level",
+        choices=["debug", "info"],
+        default="info",
+        help="event severity kept in --trace-out (debug adds per-node flips)",
+    )
 
     p_fig5 = sub.add_parser("fig5", help="reproduce the Figure-5 sweep")
     p_fig5.add_argument("--size", type=int, default=100)
@@ -144,6 +177,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_part = sub.add_parser("partition", help="open-problem cover heuristics")
     common(p_part)
 
+    p_obs = sub.add_parser("obs", help="telemetry artefact tools")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_summ = obs_sub.add_parser(
+        "summarize", help="rebuild run/epoch reports from an event log"
+    )
+    p_summ.add_argument("trace", help="event-log JSONL file (--trace-out)")
+    p_val = obs_sub.add_parser(
+        "validate", help="strictly validate a telemetry artefact"
+    )
+    p_val.add_argument("file", help="event JSONL or Chrome trace JSON")
+    p_val.add_argument(
+        "--kind",
+        choices=["auto", "events", "spans"],
+        default="auto",
+        help="artefact type (auto: .jsonl = events, otherwise spans)",
+    )
+
     return parser
 
 
@@ -167,6 +217,59 @@ def _definition(args):
     from repro.core import SafetyDefinition
 
     return SafetyDefinition(args.definition)
+
+
+def _telemetry_from_args(args):
+    """Build the ``label`` command's telemetry from its output flags.
+
+    Returns ``(telemetry, finish)`` where ``finish()`` closes the sinks
+    and writes the metrics/span artefacts; both are ``None`` when no
+    telemetry flag was given, so the untraced path stays a no-op.
+    """
+    from repro.obs import JSONLSink, MetricsRegistry, SpanRecorder, Telemetry
+
+    if not (args.trace_out or args.metrics_out or args.spans_out):
+        return None, None
+    sinks = []
+    if args.trace_out:
+        sinks.append(JSONLSink(args.trace_out))
+    metrics = MetricsRegistry() if args.metrics_out else None
+    spans = SpanRecorder() if args.spans_out else None
+    telemetry = Telemetry(
+        sinks=sinks, metrics=metrics, spans=spans, log_level=args.log_level
+    )
+
+    def finish() -> None:
+        telemetry.close()
+        if args.trace_out:
+            print(f"wrote {args.trace_out}")
+        if args.metrics_out:
+            metrics.write(args.metrics_out)
+            print(f"wrote {args.metrics_out}")
+        if args.spans_out:
+            spans.write(args.spans_out)
+            print(f"wrote {args.spans_out}")
+
+    return telemetry, finish
+
+
+def _write_stats(path: str, result) -> None:
+    """Export the run's statistics (``--stats-out``)."""
+    import json
+
+    payload = {
+        "summary": result.summary(),
+        "stats_phase1": (
+            result.stats_phase1.to_dict() if result.stats_phase1 else None
+        ),
+        "stats_phase2": (
+            result.stats_phase2.to_dict() if result.stats_phase2 else None
+        ),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {path}")
 
 
 def _cmd_label(args) -> int:
@@ -201,10 +304,15 @@ def _cmd_label(args) -> int:
 
     topo = _topology(args)
     faults = _faults(args, topo.shape)
+    telemetry, finish_telemetry = _telemetry_from_args(args)
     result = label_mesh(
         topo, faults, _definition(args), backend=args.backend, method=args.method,
-        schedule=schedule, channel=channel,
+        schedule=schedule, channel=channel, telemetry=telemetry,
     )
+    if finish_telemetry is not None:
+        finish_telemetry()
+    if args.stats_out:
+        _write_stats(args.stats_out, result)
 
     if not args.no_art and args.size <= 60:
         print(render_result(result))
@@ -383,12 +491,48 @@ def _cmd_partition(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    from repro.errors import ObservabilityError
+
+    if args.obs_command == "summarize":
+        from repro.obs import summarize_trace
+        from repro.obs.summarize import format_summary
+
+        try:
+            print(format_summary(summarize_trace(args.trace)))
+        except (OSError, ObservabilityError) as exc:
+            print(f"obs summarize: {exc}", file=sys.stderr)
+            return 1
+        return 0
+    if args.obs_command == "validate":
+        kind = args.kind
+        if kind == "auto":
+            kind = "events" if args.file.endswith(".jsonl") else "spans"
+        try:
+            if kind == "events":
+                from repro.obs import validate_jsonl
+
+                count = validate_jsonl(args.file)
+                print(f"{args.file}: {count} events ok")
+            else:
+                from repro.obs import load_chrome_trace
+
+                data = load_chrome_trace(args.file)
+                print(f"{args.file}: {len(data['traceEvents'])} trace events ok")
+        except (OSError, ObservabilityError) as exc:
+            print(f"obs validate: {exc}", file=sys.stderr)
+            return 1
+        return 0
+    raise AssertionError(f"unknown obs command {args.obs_command!r}")
+
+
 _COMMANDS = {
     "label": _cmd_label,
     "fig5": _cmd_fig5,
     "route": _cmd_route,
     "density": _cmd_density,
     "partition": _cmd_partition,
+    "obs": _cmd_obs,
 }
 
 

@@ -36,6 +36,7 @@ from repro.fabric.stats import RunStats
 from repro.faults.faultset import FaultSet
 from repro.faults.schedule import FaultSchedule
 from repro.mesh.topology import Topology
+from repro.obs.telemetry import Telemetry
 from repro.types import BoolGrid
 
 __all__ = [
@@ -62,6 +63,7 @@ def distributed_unsafe(
     active_set: bool = True,
     schedule: Optional[FaultSchedule] = None,
     channel: Optional[ChannelModel] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Tuple[BoolGrid, RunStats, object]:
     """Run phase 1 as a distributed protocol.
 
@@ -87,6 +89,7 @@ def distributed_unsafe(
         active_set=active_set,
         schedule=schedule,
         channel=channel,
+        telemetry=telemetry,
     )
     result = engine.run()
     # faulty nodes — initial and crashed alike — are unsafe by definition
@@ -105,6 +108,7 @@ def distributed_enabled(
     record_trace: bool = False,
     active_set: bool = True,
     channel: Optional[ChannelModel] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Tuple[BoolGrid, RunStats, object]:
     """Run phase 2 as a distributed protocol, seeded by phase-1 labels.
 
@@ -136,6 +140,7 @@ def distributed_enabled(
         record_trace=record_trace,
         active_set=active_set,
         channel=channel,
+        telemetry=telemetry,
     )
     result = engine.run()
     enabled = np.zeros(topology.shape, dtype=bool)
@@ -153,6 +158,7 @@ def async_unsafe(
     max_delay: int = 5,
     schedule: Optional[FaultSchedule] = None,
     channel: Optional[ChannelModel] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Tuple[BoolGrid, RunStats]:
     """Run phase 1 on the *asynchronous* engine.
 
@@ -172,6 +178,7 @@ def async_unsafe(
         max_delay=max_delay,
         schedule=schedule,
         channel=channel,
+        telemetry=telemetry,
     )
     result = engine.run()
     unsafe = _final_faults(faults, schedule).mask.copy()
@@ -188,6 +195,7 @@ def async_enabled(
     rng: np.random.Generator,
     max_delay: int = 5,
     channel: Optional[ChannelModel] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Tuple[BoolGrid, RunStats]:
     """Run phase 2 on the asynchronous engine (see :func:`async_unsafe`
     and :func:`distributed_enabled` for why this phase takes a settled
@@ -203,6 +211,7 @@ def async_enabled(
         rng=rng,
         max_delay=max_delay,
         channel=channel,
+        telemetry=telemetry,
     )
     result = engine.run()
     enabled = np.zeros(topology.shape, dtype=bool)

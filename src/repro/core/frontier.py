@@ -32,16 +32,28 @@ frontier size — no per-cell Python.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.core.status import SafetyDefinition
 from repro.errors import ConvergenceError
 from repro.mesh.topology import Topology
+from repro.obs.telemetry import Telemetry
 from repro.types import BoolGrid
 
 __all__ = ["unsafe_fixpoint_sparse", "enabled_fixpoint_sparse"]
+
+
+def _frontier_meter(telemetry: Optional[Telemetry]):
+    """The per-round frontier-size histogram, or ``None`` when off.
+
+    Resolved once per fixpoint call so the hot loop pays a single
+    ``is not None`` check per round.
+    """
+    if telemetry is None or telemetry.metrics is None:
+        return None
+    return telemetry.histogram("frontier_active_cells")
 
 
 def _neighbor_indices(
@@ -79,13 +91,17 @@ def unsafe_fixpoint_sparse(
     faulty: BoolGrid,
     definition: SafetyDefinition = SafetyDefinition.DEF_2B,
     max_rounds: int | None = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Tuple[BoolGrid, int]:
     """Phase-1 fixpoint by frontier propagation.
 
     Drop-in replacement for :func:`repro.core.safety.unsafe_fixpoint`:
     same signature, same fixpoint, same round count (see the module
     docstring for the exactness argument), but per-round work scales
-    with the frontier instead of the grid.
+    with the frontier instead of the grid.  ``telemetry`` (optional)
+    observes each round's frontier size into the
+    ``frontier_active_cells`` histogram — the direct measure of the
+    sparse kernels' work.
     """
     if faulty.shape != topology.shape:
         raise ConvergenceError(
@@ -105,11 +121,14 @@ def unsafe_fixpoint_sparse(
     seeds = np.flatnonzero(unsafe)
     frontier = still_safe_neighbors(seeds) if seeds.size else seeds
     rounds = 0
+    meter = _frontier_meter(telemetry)
     while frontier.size:
         if rounds > budget:
             raise ConvergenceError(
                 f"unsafe labeling did not converge within {budget} rounds"
             )
+        if meter is not None:
+            meter.observe(int(frontier.size))
         nbrs, valid = _neighbor_indices(frontier, width, height, wraps)
         vals = unsafe[nbrs] & valid  # ghost neighbours are safe
         if definition is SafetyDefinition.DEF_2A:
@@ -130,6 +149,7 @@ def enabled_fixpoint_sparse(
     faulty: BoolGrid,
     unsafe: BoolGrid,
     max_rounds: int | None = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Tuple[BoolGrid, int]:
     """Phase-2 fixpoint by frontier propagation.
 
@@ -152,11 +172,14 @@ def enabled_fixpoint_sparse(
 
     frontier = np.flatnonzero(~enabled & ~faulty_flat)
     rounds = 0
+    meter = _frontier_meter(telemetry)
     while frontier.size:
         if rounds > budget:
             raise ConvergenceError(
                 f"enable labeling did not converge within {budget} rounds"
             )
+        if meter is not None:
+            meter.observe(int(frontier.size))
         nbrs, valid = _neighbor_indices(frontier, width, height, wraps)
         vals = enabled[nbrs] | ~valid  # ghost neighbours are enabled
         fire = vals.sum(axis=0, dtype=np.int8) >= 2

@@ -23,6 +23,7 @@ the regions, round counts and the Figure-5 ratio.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import List, Literal, Optional, Tuple
 
@@ -40,8 +41,12 @@ from repro.fabric.stats import RunStats
 from repro.faults.faultset import FaultSet
 from repro.faults.schedule import FaultSchedule
 from repro.mesh.topology import Topology
+from repro.obs.telemetry import Telemetry
 
 __all__ = ["LabelingResult", "label_mesh"]
+
+#: Shared no-op context for the telemetry-off span sites.
+_NULL_SPAN = nullcontext()
 
 Backend = Literal["vectorized", "distributed"]
 Method = Literal["dense", "frontier", "auto"]
@@ -180,6 +185,7 @@ def label_mesh(
     method: Method = "auto",
     schedule: Optional[FaultSchedule] = None,
     channel: Optional[ChannelModel] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> LabelingResult:
     """Run the full two-phase pipeline.
 
@@ -218,6 +224,13 @@ def label_mesh(
         :class:`~repro.fabric.channel.ChannelModel` applied to both
         phases.  Must be fair for convergence guarantees; see
         :mod:`repro.fabric.channel`.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry`.  The pipeline
+        emits ``phase_transition`` events around each phase, wraps the
+        phases in ``phase_unsafe`` / ``phase_enable`` profiling spans
+        (tagged with the kernel that ran), and threads phase-labeled
+        children into the frontier kernels and the fabric engines.
+        ``None`` (default) disables all instrumentation.
 
     Returns
     -------
@@ -235,34 +248,90 @@ def label_mesh(
             "fault schedules and lossy channels require backend='distributed'"
         )
     faulty = faults.mask
+    tel = telemetry
+    events_on = tel is not None and tel.wants("info")
     if backend == "vectorized":
         m1 = _resolve_method(method, topology, int(np.count_nonzero(faulty)))
-        if m1 == "frontier":
-            unsafe, rounds1 = unsafe_fixpoint_sparse(topology, faulty, definition)
-        else:
-            unsafe, rounds1 = unsafe_fixpoint(topology, faulty, definition)
+        if events_on:
+            tel.emit("phase_transition", phase="unsafe", status="start")
+        tel1 = tel.child(phase="unsafe") if tel is not None else None
+        span1 = tel.span("phase_unsafe", kernel=m1) if tel is not None else _NULL_SPAN
+        with span1:
+            if m1 == "frontier":
+                unsafe, rounds1 = unsafe_fixpoint_sparse(
+                    topology, faulty, definition, telemetry=tel1
+                )
+            else:
+                unsafe, rounds1 = unsafe_fixpoint(topology, faulty, definition)
+        if events_on:
+            tel.emit(
+                "phase_transition", phase="unsafe", status="end", rounds=rounds1
+            )
         m2 = _resolve_method(
             method, topology, int(np.count_nonzero(unsafe & ~faulty))
         )
-        if m2 == "frontier":
-            enabled, rounds2 = enabled_fixpoint_sparse(topology, faulty, unsafe)
-        else:
-            enabled, rounds2 = enabled_fixpoint(topology, faulty, unsafe)
+        if events_on:
+            tel.emit("phase_transition", phase="enable", status="start")
+        tel2 = tel.child(phase="enable") if tel is not None else None
+        span2 = tel.span("phase_enable", kernel=m2) if tel is not None else _NULL_SPAN
+        with span2:
+            if m2 == "frontier":
+                enabled, rounds2 = enabled_fixpoint_sparse(
+                    topology, faulty, unsafe, telemetry=tel2
+                )
+            else:
+                enabled, rounds2 = enabled_fixpoint(topology, faulty, unsafe)
+        if events_on:
+            tel.emit(
+                "phase_transition", phase="enable", status="end", rounds=rounds2
+            )
         method_used = m1 if m1 == m2 else f"{m1}+{m2}"
         stats1 = stats2 = None
     elif backend == "distributed":
-        unsafe, stats1, _ = distributed_unsafe(
-            topology, faults, definition, chatty=chatty,
-            schedule=schedule, channel=channel,
+        if events_on:
+            tel.emit("phase_transition", phase="unsafe", status="start")
+        span1 = (
+            tel.span("phase_unsafe", kernel="fabric")
+            if tel is not None
+            else _NULL_SPAN
         )
+        with span1:
+            unsafe, stats1, _ = distributed_unsafe(
+                topology, faults, definition, chatty=chatty,
+                schedule=schedule, channel=channel,
+                telemetry=tel.child(phase="unsafe") if tel is not None else None,
+            )
+        if events_on:
+            tel.emit(
+                "phase_transition",
+                phase="unsafe",
+                status="end",
+                rounds=stats1.rounds,
+            )
         if schedule is not None and schedule:
             # Crashes settled during phase 1; phase 2 runs on the final
             # fault set, seeded from the re-converged phase-1 labels.
             faults = schedule.check_shape(faults.shape).final_faults(faults)
             faulty = faults.mask
-        enabled, stats2, _ = distributed_enabled(
-            topology, faults, unsafe, chatty=chatty, channel=channel
+        if events_on:
+            tel.emit("phase_transition", phase="enable", status="start")
+        span2 = (
+            tel.span("phase_enable", kernel="fabric")
+            if tel is not None
+            else _NULL_SPAN
         )
+        with span2:
+            enabled, stats2, _ = distributed_enabled(
+                topology, faults, unsafe, chatty=chatty, channel=channel,
+                telemetry=tel.child(phase="enable") if tel is not None else None,
+            )
+        if events_on:
+            tel.emit(
+                "phase_transition",
+                phase="enable",
+                status="end",
+                rounds=stats2.rounds,
+            )
         rounds1, rounds2 = stats1.rounds, stats2.rounds
         method_used = "n/a"
     else:

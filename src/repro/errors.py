@@ -51,3 +51,9 @@ class RoutingError(ReproError):
 
 class PartitionError(ReproError):
     """A disabled-region partition request is malformed or infeasible."""
+
+
+class ObservabilityError(ReproError):
+    """A telemetry artefact is malformed: an event violating its schema,
+    an unreadable JSONL trace, or a Chrome-trace file the strict loader
+    rejects."""

@@ -55,11 +55,19 @@ import numpy as np
 
 from repro.errors import ProtocolError
 from repro.fabric.channel import ChannelModel
-from repro.fabric.engine import EngineResult, ProgramFactory, build_neighbor_sets
+from repro.fabric.engine import (
+    EngineResult,
+    ProgramFactory,
+    _EngineMeters,
+    build_neighbor_sets,
+)
 from repro.fabric.program import NodeContext
 from repro.fabric.stats import EpochStats, RunStats
+from repro.fabric.trace import RoundTrace
 from repro.faults.schedule import FaultSchedule
 from repro.mesh.topology import Topology
+from repro.obs.events import snapshot_event
+from repro.obs.telemetry import Telemetry
 from repro.types import Coord
 
 __all__ = ["AsynchronousEngine"]
@@ -86,6 +94,18 @@ class AsynchronousEngine:
         Optional lossy/duplicating/jittering link model; ``None`` or a
         reliable channel keeps perfect links (and the historical rng
         stream).
+    record_trace:
+        When True, snapshot every node after initialisation and after
+        each processed event, as a
+        :class:`~repro.fabric.trace.RoundTrace` whose frames are keyed
+        by the delivery-event count — the async analogue of the
+        synchronous engine's per-round frames.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry`; see
+        :class:`~repro.fabric.engine.SynchronousEngine`.  ``round_start``
+        events and ``engine_round`` spans correspond to *delivery
+        events* here (``stats.rounds`` already counts state-changing
+        deliveries).  ``None`` disables all instrumentation.
     """
 
     def __init__(
@@ -98,6 +118,8 @@ class AsynchronousEngine:
         max_events: int | None = None,
         schedule: Optional[FaultSchedule] = None,
         channel: Optional[ChannelModel] = None,
+        record_trace: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ):
         if max_delay < 1:
             raise ProtocolError(f"max_delay must be >= 1, got {max_delay}")
@@ -128,6 +150,10 @@ class AsynchronousEngine:
                     8 * topology.num_nodes
                 )
         self._max_events = max_events
+        self._record_trace = bool(record_trace)
+        self._telemetry = (
+            telemetry.child(engine="async") if telemetry is not None else None
+        )
         self._programs = {}
         for c in topology.nodes():
             if c not in self._faulty:
@@ -147,6 +173,27 @@ class AsynchronousEngine:
         stats = RunStats()
         channel = self._channel
         crash_events = self._events_in
+        trace = RoundTrace() if self._record_trace else None
+        tel = self._telemetry
+        events_on = tel is not None and tel.wants("info")
+        debug_on = tel is not None and tel.wants("debug")
+        spans_on = tel is not None and tel.spans is not None
+        meters = (
+            _EngineMeters(tel) if tel is not None and tel.metrics is not None else None
+        )
+        deliveries = (
+            tel.counter("engine_delivery_events_total") if meters is not None else None
+        )
+        epoch_idx = 0
+        if tel is not None and channel is not None:
+            channel.bind_telemetry(tel)
+        if events_on:
+            tel.emit(
+                "run_start",
+                nodes=len(self._programs),
+                faulty=len(self._faulty),
+                dynamic=self._dynamic,
+            )
         # Priority queue of (deliver_at, tiebreak, recipient); the
         # payload map per (time, recipient) keeps only the latest
         # message per sender, like a real link that overwrites status.
@@ -164,7 +211,7 @@ class AsynchronousEngine:
                 if channel is None:
                     offsets = (0,)
                 else:
-                    offsets = channel.copies()
+                    offsets = channel.copies(sender, dest)
                 for offset in offsets:
                     at = (
                         now
@@ -209,10 +256,14 @@ class AsynchronousEngine:
                 changing_events += 1
                 if self._dynamic:
                     stats.epochs[-1].rounds += 1
+                if meters is not None:
+                    meters.rounds.inc()
+                if debug_on:
+                    tel.emit("node_flip", node=coord, clock=at)
             post(coord, outgoing, now=at)
 
         def apply_crashes(batch, at: int) -> None:
-            nonlocal epoch_drop_base, epoch_dup_base
+            nonlocal epoch_drop_base, epoch_dup_base, epoch_idx
             applied: List[Coord] = []
             for c in sorted(batch):
                 if c not in self._programs:
@@ -226,7 +277,14 @@ class AsynchronousEngine:
                 ep.duplicated = (channel.duplicates if channel else 0) - epoch_dup_base
                 epoch_drop_base = channel.drops if channel else 0
                 epoch_dup_base = channel.duplicates if channel else 0
+                if events_on:
+                    tel.emit("epoch_end", epoch=epoch_idx, **ep.to_dict())
+                if meters is not None and epoch_idx >= 1:
+                    meters.recovery_rounds.inc(ep.rounds)
+                epoch_idx += 1
                 stats.epochs.append(EpochStats(crashed=tuple(applied), at_time=at))
+            if events_on:
+                tel.emit("crash_batch", time=at, nodes=applied)
             # Surviving neighbours notice the dead links and take one
             # immediate wake-up step: rules counting faulty links may
             # now fire without any message arriving.
@@ -251,6 +309,12 @@ class AsynchronousEngine:
         # dynamic afterwards arrives as messages.
         for coord in list(self._programs):
             step(coord, {}, 0)
+        if trace is not None:
+            trace.emit(
+                snapshot_event(
+                    0, {c: p.snapshot() for c, p in self._programs.items()}
+                )
+            )
         while True:
             # Crash batches strike before any delivery at their time;
             # a drained network fast-forwards to the next batch.
@@ -272,6 +336,10 @@ class AsynchronousEngine:
                             "(is the channel fair?)"
                         )
                     drops_acked = channel.drops
+                    if events_on:
+                        tel.emit("heartbeat", seq=stats.heartbeats, clock=now)
+                    if meters is not None:
+                        meters.heartbeats.inc()
                     for coord, prog in self._programs.items():
                         post(coord, prog.resend(), now)
                     continue
@@ -287,17 +355,55 @@ class AsynchronousEngine:
                 ep = stats.epochs[-1]
                 ep.executed_rounds += 1
                 ep.messages += len(inbox)
-            step(dest, inbox, at)
+            if meters is not None:
+                meters.messages.inc(len(inbox))
+            if events_on:
+                tel.emit(
+                    "round_start", round=events, clock=at, delivered=len(inbox)
+                )
+            if spans_on:
+                with tel.spans.span("engine_round", round=events):
+                    step(dest, inbox, at)
+            else:
+                step(dest, inbox, at)
+            if trace is not None:
+                trace.emit(
+                    snapshot_event(
+                        events,
+                        {c: p.snapshot() for c, p in self._programs.items()},
+                    )
+                )
 
         if self._dynamic:
             ep = stats.epochs[-1]
             ep.dropped = (channel.drops if channel else 0) - epoch_drop_base
             ep.duplicated = (channel.duplicates if channel else 0) - epoch_dup_base
+            if events_on:
+                tel.emit("epoch_end", epoch=epoch_idx, **ep.to_dict())
+            if meters is not None and epoch_idx >= 1:
+                meters.recovery_rounds.inc(ep.rounds)
         if channel is not None:
             stats.dropped_messages = channel.drops - drops_base
             stats.duplicated_messages = channel.duplicates - dups_base
         stats.rounds = changing_events
         stats.messages_per_round = [messages]
         stats.changes_per_round = [changing_events]
+        if meters is not None:
+            meters.executed.inc(stats.executed_rounds)
+            meters.messages_hist.observe(messages)
+            meters.flips.observe(changing_events)
+            meters.dropped.inc(stats.dropped_messages)
+            meters.duplicated.inc(stats.duplicated_messages)
+            deliveries.inc(events)
+        if events_on:
+            tel.emit(
+                "run_end",
+                rounds=stats.rounds,
+                executed_rounds=stats.executed_rounds,
+                messages=stats.total_messages,
+                heartbeats=stats.heartbeats,
+                dropped=stats.dropped_messages,
+                duplicated=stats.duplicated_messages,
+            )
         snapshots = {c: p.snapshot() for c, p in self._programs.items()}
-        return EngineResult(snapshots, stats, None)
+        return EngineResult(snapshots, stats, trace)

@@ -63,7 +63,16 @@ class ChannelModel:
         deterministic form.  ``None`` means unbounded loss.
     """
 
-    __slots__ = ("_drop", "_dup", "_jitter", "_rng", "_max_drops", "drops", "duplicates")
+    __slots__ = (
+        "_drop",
+        "_dup",
+        "_jitter",
+        "_rng",
+        "_max_drops",
+        "_telemetry",
+        "drops",
+        "duplicates",
+    )
 
     def __init__(
         self,
@@ -91,6 +100,9 @@ class ChannelModel:
         self.drops = 0
         #: Duplicate copies injected so far.
         self.duplicates = 0
+        #: Optional telemetry for per-message loss events; see
+        #: :meth:`bind_telemetry`.
+        self._telemetry = None
         if not self.is_reliable and rng is None:
             raise ValueError("a lossy channel needs a seeded rng")
 
@@ -128,12 +140,25 @@ class ChannelModel:
         """The upper bound on per-copy extra delivery delay."""
         return self._jitter
 
-    def copies(self) -> Tuple[int, ...]:
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach a :class:`~repro.obs.telemetry.Telemetry` (or ``None``).
+
+        A bound channel emits a ``message_dropped`` /
+        ``message_duplicated`` event (debug level) per affected message
+        when the engine passes sender/destination context to
+        :meth:`copies`.  Binding never touches the rng stream, so
+        telemetry cannot perturb a seeded degraded run.
+        """
+        self._telemetry = telemetry
+
+    def copies(self, sender=None, dest=None) -> Tuple[int, ...]:
         """Delay offsets of the copies of one message that arrive.
 
         ``()`` means the message was dropped outright; ``(0,)`` one
         on-time copy; an extra entry ``>= 1`` is a late duplicate.  The
         reliable channel returns ``(0,)`` without touching the rng.
+        ``sender``/``dest`` are optional context for telemetry events
+        and do not affect delivery.
         """
         if self.is_reliable:
             return _ON_TIME
@@ -143,10 +168,18 @@ class ChannelModel:
             if self._max_drops is None or self.drops < self._max_drops:
                 dropped = True
                 self.drops += 1
+                if self._telemetry is not None:
+                    self._telemetry.emit(
+                        "message_dropped", sender=sender, dest=dest
+                    )
         if not dropped:
             offsets.append(self._jitter_draw())
         if self._dup > 0.0 and self._rng.random() < self._dup:
             self.duplicates += 1
+            if self._telemetry is not None:
+                self._telemetry.emit(
+                    "message_duplicated", sender=sender, dest=dest
+                )
             offsets.append(1 + self._jitter_draw())
         return tuple(offsets)
 

@@ -60,6 +60,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
+from contextlib import nullcontext
+
 from repro.errors import ProtocolError
 from repro.fabric.channel import ChannelModel
 from repro.faults.schedule import FaultSchedule
@@ -67,6 +69,8 @@ from repro.fabric.program import NodeContext, NodeProgram
 from repro.fabric.stats import EpochStats, RunStats
 from repro.fabric.trace import RoundTrace
 from repro.mesh.topology import Topology
+from repro.obs.events import snapshot_event
+from repro.obs.telemetry import Telemetry
 from repro.types import Coord
 
 __all__ = ["SynchronousEngine", "EngineResult", "build_neighbor_sets"]
@@ -78,6 +82,43 @@ _EMPTY_INBOX: Dict[Coord, Any] = {}
 
 #: Per-destination inboxes keyed by sender.
 Boxes = Dict[Coord, Dict[Coord, Any]]
+
+#: Shared no-op context for rounds profiled without a span recorder.
+_NULL_SPAN = nullcontext()
+
+
+class _EngineMeters:
+    """The metric series one engine run updates (resolved once per run).
+
+    Series resolution involves dict lookups and label merging; doing it
+    per round would put that on the hot path.  Field-for-field, the
+    updates mirror :class:`~repro.fabric.stats.RunStats`, which is what
+    lets a property test demand bit-for-bit agreement between a metrics
+    snapshot and the run's stats.
+    """
+
+    __slots__ = (
+        "rounds",
+        "executed",
+        "messages",
+        "flips",
+        "messages_hist",
+        "heartbeats",
+        "recovery_rounds",
+        "dropped",
+        "duplicated",
+    )
+
+    def __init__(self, tel: Telemetry):
+        self.rounds = tel.counter("engine_rounds_total")
+        self.executed = tel.counter("engine_rounds_executed_total")
+        self.messages = tel.counter("engine_messages_total")
+        self.flips = tel.histogram("engine_flips_per_round")
+        self.messages_hist = tel.histogram("engine_messages_per_round")
+        self.heartbeats = tel.counter("engine_heartbeats_total")
+        self.recovery_rounds = tel.counter("engine_recovery_rounds_total")
+        self.dropped = tel.counter("channel_dropped_total")
+        self.duplicated = tel.counter("channel_duplicated_total")
 
 
 def build_neighbor_sets(
@@ -145,6 +186,14 @@ class SynchronousEngine:
         Optional :class:`~repro.fabric.channel.ChannelModel` applied to
         every posted message.  ``None`` (or a reliable channel) keeps
         perfect links and consumes no randomness.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry`.  When given,
+        the engine emits structured events (``run_start``,
+        ``round_start``, ``node_flip``, ``crash_batch``, ``heartbeat``,
+        ``epoch_end``, ``run_end``), updates metric series that agree
+        bit-for-bit with the returned ``RunStats``, and profiles rounds
+        as spans.  ``None`` (the default) is a strict no-op: every
+        telemetry site is behind a ``None`` check.
     """
 
     def __init__(
@@ -158,6 +207,7 @@ class SynchronousEngine:
         debug_full_check: bool = False,
         schedule: Optional["FaultSchedule"] = None,
         channel: Optional[ChannelModel] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self._topology = topology
         self._faulty: Set[Coord] = set(faulty)
@@ -184,6 +234,9 @@ class SynchronousEngine:
                     self._channel.max_jitter + 3
                 )
         self._max_rounds = int(max_rounds)
+        self._telemetry = (
+            telemetry.child(engine="sync") if telemetry is not None else None
+        )
         self._record_trace = bool(record_trace)
         self._active_set = bool(active_set)
         self._debug_full_check = bool(debug_full_check)
@@ -221,6 +274,23 @@ class SynchronousEngine:
         trace = RoundTrace() if self._record_trace else None
         channel = self._channel
         events = self._events
+        tel = self._telemetry
+        events_on = tel is not None and tel.wants("info")
+        debug_on = tel is not None and tel.wants("debug")
+        spans_on = tel is not None and tel.spans is not None
+        meters = (
+            _EngineMeters(tel) if tel is not None and tel.metrics is not None else None
+        )
+        epoch_idx = 0
+        if tel is not None and channel is not None:
+            channel.bind_telemetry(tel)
+        if events_on:
+            tel.emit(
+                "run_start",
+                nodes=len(self._programs),
+                faulty=len(self._faulty),
+                dynamic=self._dynamic,
+            )
 
         # Baselines first: drops during the initial announcements below
         # must count (and be heartbeat-repaired) like any later loss.
@@ -237,7 +307,9 @@ class SynchronousEngine:
             self._post(coord, prog.start(), pending, deferred, clock=0)
 
         if trace is not None:
-            trace.record(0, {c: p.snapshot() for c, p in self._programs.items()})
+            trace.emit(
+                snapshot_event(0, {c: p.snapshot() for c, p in self._programs.items()})
+            )
         if self._dynamic:
             stats.epochs.append(EpochStats())
 
@@ -270,6 +342,10 @@ class SynchronousEngine:
                             "(is the channel fair?)"
                         )
                     drops_acked = channel.drops
+                    if meters is not None:
+                        meters.heartbeats.inc()
+                    if events_on:
+                        tel.emit("heartbeat", seq=stats.heartbeats, clock=clock)
                     for coord, prog in self._programs.items():
                         self._post(coord, prog.resend(), pending, deferred, clock)
                     continue
@@ -289,6 +365,8 @@ class SynchronousEngine:
                 applied, woken = self._apply_crashes(sorted(batch), pending, deferred)
                 active -= set(applied)
                 active |= woken
+                if events_on:
+                    tel.emit("crash_batch", time=tick, nodes=applied)
                 if self._dynamic:
                     ep = stats.epochs[-1]
                     ep.dropped = (channel.drops if channel else 0) - epoch_drop_base
@@ -297,6 +375,11 @@ class SynchronousEngine:
                     ) - epoch_dup_base
                     epoch_drop_base = channel.drops if channel else 0
                     epoch_dup_base = channel.duplicates if channel else 0
+                    if events_on:
+                        tel.emit("epoch_end", epoch=epoch_idx, **ep.to_dict())
+                    if meters is not None and epoch_idx >= 1:
+                        meters.recovery_rounds.inc(ep.rounds)
+                    epoch_idx += 1
                     stats.epochs.append(
                         EpochStats(crashed=tuple(applied), at_time=tick)
                     )
@@ -318,18 +401,34 @@ class SynchronousEngine:
                 step_coords = sorted(active | pending.keys())
             else:
                 step_coords = list(self._programs)
+            if events_on:
+                tel.emit(
+                    "round_start",
+                    round=executed + 1,
+                    clock=tick,
+                    delivered=delivered,
+                    stepped=len(step_coords),
+                )
             nxt: Boxes = {}
             changes = 0
             changed_now: Set[Coord] = set()
-            for coord in step_coords:
-                inbox = pending.get(coord, _EMPTY_INBOX)
-                outgoing, changed = self._programs[coord].on_round(inbox)
-                if changed:
-                    changes += 1
-                    changed_now.add(coord)
-                self._post(coord, outgoing, nxt, deferred, clock=tick)
-            if self._active_set and self._debug_full_check:
-                self._check_skipped(step_coords)
+            round_span = (
+                tel.spans.span("engine_round", round=executed + 1)
+                if spans_on
+                else _NULL_SPAN
+            )
+            with round_span:
+                for coord in step_coords:
+                    inbox = pending.get(coord, _EMPTY_INBOX)
+                    outgoing, changed = self._programs[coord].on_round(inbox)
+                    if changed:
+                        changes += 1
+                        changed_now.add(coord)
+                        if debug_on:
+                            tel.emit("node_flip", node=coord, clock=tick)
+                    self._post(coord, outgoing, nxt, deferred, clock=tick)
+                if self._active_set and self._debug_full_check:
+                    self._check_skipped(step_coords)
             pending = nxt
             active = changed_now
             clock = tick
@@ -338,6 +437,13 @@ class SynchronousEngine:
             stats.changes_per_round.append(changes)
             if changes:
                 stats.rounds += 1
+            if meters is not None:
+                meters.executed.inc()
+                meters.messages.inc(delivered)
+                meters.messages_hist.observe(delivered)
+                meters.flips.observe(changes)
+                if changes:
+                    meters.rounds.inc()
             if self._dynamic:
                 ep = stats.epochs[-1]
                 ep.executed_rounds += 1
@@ -345,8 +451,11 @@ class SynchronousEngine:
                 if changes:
                     ep.rounds += 1
             if trace is not None:
-                trace.record(
-                    executed, {c: p.snapshot() for c, p in self._programs.items()}
+                trace.emit(
+                    snapshot_event(
+                        executed,
+                        {c: p.snapshot() for c, p in self._programs.items()},
+                    )
                 )
             if (
                 changes == 0
@@ -360,9 +469,26 @@ class SynchronousEngine:
             ep = stats.epochs[-1]
             ep.dropped = (channel.drops if channel else 0) - epoch_drop_base
             ep.duplicated = (channel.duplicates if channel else 0) - epoch_dup_base
+            if events_on:
+                tel.emit("epoch_end", epoch=epoch_idx, **ep.to_dict())
+            if meters is not None and epoch_idx >= 1:
+                meters.recovery_rounds.inc(ep.rounds)
         if channel is not None:
             stats.dropped_messages = channel.drops - drops_base
             stats.duplicated_messages = channel.duplicates - dups_base
+        if meters is not None:
+            meters.dropped.inc(stats.dropped_messages)
+            meters.duplicated.inc(stats.duplicated_messages)
+        if events_on:
+            tel.emit(
+                "run_end",
+                rounds=stats.rounds,
+                executed_rounds=stats.executed_rounds,
+                messages=stats.total_messages,
+                heartbeats=stats.heartbeats,
+                dropped=stats.dropped_messages,
+                duplicated=stats.duplicated_messages,
+            )
         snapshots = {c: p.snapshot() for c, p in self._programs.items()}
         return EngineResult(snapshots, stats, trace)
 
@@ -443,7 +569,7 @@ class SynchronousEngine:
                     box = boxes[dest] = {}
                 box[sender] = payload
             else:
-                for offset in channel.copies():
+                for offset in channel.copies(sender, dest):
                     if offset == 0:
                         boxes.setdefault(dest, {})[sender] = payload
                     else:

@@ -19,7 +19,7 @@ their statistics are bit-for-bit what they always were.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.types import Coord
 
@@ -61,6 +61,24 @@ class EpochStats:
     messages: int = 0
     dropped: int = 0
     duplicated: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready view; coordinates become ``[x, y]`` lists.
+
+        This is the machine-readable stats format shared by
+        ``--stats-out`` runs, sweep results, and the ``epoch_end``
+        telemetry events (so ``repro obs summarize`` reconstructs
+        exactly these fields from a trace).
+        """
+        return {
+            "crashed": [[int(x), int(y)] for x, y in self.crashed],
+            "at_time": self.at_time,
+            "rounds": self.rounds,
+            "executed_rounds": self.executed_rounds,
+            "messages": self.messages,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+        }
 
 
 @dataclass
@@ -113,3 +131,23 @@ class RunStats:
     def recovery_rounds(self) -> int:
         """Changing rounds spent re-converging after crashes (epochs 2+)."""
         return sum(e.rounds for e in self.epochs[1:])
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready view including the derived totals.
+
+        The derived fields (``total_messages``, ``executed_rounds``,
+        ``recovery_rounds``) are included so downstream consumers need
+        no knowledge of how they are computed.
+        """
+        return {
+            "rounds": self.rounds,
+            "messages_per_round": list(self.messages_per_round),
+            "changes_per_round": list(self.changes_per_round),
+            "epochs": [e.to_dict() for e in self.epochs],
+            "dropped_messages": self.dropped_messages,
+            "duplicated_messages": self.duplicated_messages,
+            "heartbeats": self.heartbeats,
+            "total_messages": self.total_messages,
+            "executed_rounds": self.executed_rounds,
+            "recovery_rounds": self.recovery_rounds,
+        }

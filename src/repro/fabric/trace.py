@@ -2,22 +2,33 @@
 
 Used by the examples to animate how unsafe/disabled labels spread and
 recede, and by tests that assert intermediate monotonicity.
+
+Since the observability subsystem landed, :class:`RoundTrace` is a thin
+:class:`~repro.obs.sinks.EventSink`: both engines record frames by
+routing ``snapshot`` events (built by
+:func:`repro.obs.events.snapshot_event`) through the event-log API, and
+the trace simply keeps the frames those events carry.  Frame keys are
+round numbers on the synchronous engine and delivery-event counts on
+the asynchronous one.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Tuple
 
+from repro.obs.events import Event
+from repro.obs.sinks import EventSink
 from repro.types import Coord
 
 __all__ = ["RoundTrace"]
 
 
-class RoundTrace:
+class RoundTrace(EventSink):
     """A sequence of per-round snapshots ``{coord: state}``.
 
     Entry 0 is the state after :meth:`~repro.fabric.program.NodeProgram.start`
-    but before any exchange; entry *r* is the state after round *r*.
+    but before any exchange; entry *r* is the state after round *r* (or,
+    on the asynchronous engine, after the *r*-th processed event).
     """
 
     __slots__ = ("_frames",)
@@ -25,8 +36,13 @@ class RoundTrace:
     def __init__(self) -> None:
         self._frames: List[Tuple[int, Dict[Coord, Any]]] = []
 
+    def emit(self, event: Event) -> None:
+        """Sink interface: keep ``snapshot`` events, ignore the rest."""
+        if event.name == "snapshot":
+            self.record(event.fields["key"], event.fields["snapshot"])
+
     def record(self, round_no: int, snapshot: Dict[Coord, Any]) -> None:
-        """Append one frame; called by the engine."""
+        """Append one frame; called by the engine (via :meth:`emit`)."""
         self._frames.append((round_no, dict(snapshot)))
 
     def __len__(self) -> int:

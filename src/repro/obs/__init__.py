@@ -1,0 +1,67 @@
+"""Observability: structured events, metrics, and span profiling.
+
+The paper's empirical story is entirely about *measuring* the
+distributed labeling protocol (Figure 5: rounds and enabled ratios as
+functions of the fault count), and the dynamic-fault work of this
+repository made the runs worth measuring even richer: epochs, channel
+loss, heartbeat repair.  This package turns the previously ad-hoc
+instrumentation into one subsystem with three legs:
+
+* **structured events** (:mod:`repro.obs.events`,
+  :mod:`repro.obs.sinks`) — typed, timestamped records (``round_start``,
+  ``node_flip``, ``crash_batch``, ``message_dropped``, ``heartbeat``,
+  ``epoch_end``, ``phase_transition``, ...) emitted by both fabric
+  engines, the channel model, the labeling pipeline and the sweep
+  harness, fanned out to pluggable sinks (in-memory ring buffer, JSONL
+  file, null);
+* a **metrics registry** (:mod:`repro.obs.metrics`) — labeled counters,
+  gauges and histograms whose snapshot agrees bit-for-bit with the
+  engines' :class:`~repro.fabric.stats.RunStats` (property tested);
+* **span profiling** (:mod:`repro.obs.spans`) — nested wall-clock spans
+  around phases, kernels, engine rounds and sweep cells, exportable as
+  Chrome ``trace_event`` JSON viewable in ``chrome://tracing`` or
+  Perfetto.
+
+The :class:`~repro.obs.telemetry.Telemetry` facade bundles the three
+legs; every instrumented call site is guarded by a ``telemetry is not
+None`` check, so the disabled path is a no-op (the perf baseline pins
+the telemetry-off pipeline to < 2% overhead).  See
+``docs/observability.md`` for schemas and the export how-to.
+"""
+
+from repro.obs.events import (
+    EVENT_SCHEMAS,
+    Event,
+    snapshot_event,
+    validate_event,
+    validate_event_dict,
+    validate_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.sinks import EventSink, JSONLSink, MemorySink, NullSink
+from repro.obs.spans import SpanRecorder, load_chrome_trace
+from repro.obs.summarize import EpochReport, TraceSummary, summarize_trace
+from repro.obs.telemetry import Telemetry
+
+__all__ = [
+    "Counter",
+    "EVENT_SCHEMAS",
+    "EpochReport",
+    "Event",
+    "EventSink",
+    "Gauge",
+    "Histogram",
+    "JSONLSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "SpanRecorder",
+    "Telemetry",
+    "TraceSummary",
+    "load_chrome_trace",
+    "snapshot_event",
+    "summarize_trace",
+    "validate_event",
+    "validate_event_dict",
+    "validate_jsonl",
+]

@@ -1,0 +1,105 @@
+"""Event sinks: where emitted events go.
+
+A sink is anything with an ``emit(event)`` method; the telemetry facade
+fans every accepted event out to all of its sinks.  Three are provided:
+
+* :class:`NullSink` — discards everything; used to measure the cost of
+  the emit path itself (the perf baseline's telemetry-null-sink leg);
+* :class:`MemorySink` — a bounded ring buffer for tests and in-process
+  consumers;
+* :class:`JSONLSink` — one JSON object per line, the on-disk trace
+  format ``repro obs summarize`` and ``repro obs validate`` read.
+
+:class:`~repro.fabric.trace.RoundTrace` is a fourth, specialised sink
+living with the fabric: it keeps only ``snapshot`` events, as full
+per-round state frames.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from collections import deque
+from typing import IO, List, Optional
+
+from repro.obs.events import Event
+
+__all__ = ["EventSink", "JSONLSink", "MemorySink", "NullSink"]
+
+
+class EventSink(abc.ABC):
+    """Receives every event the telemetry accepts."""
+
+    @abc.abstractmethod
+    def emit(self, event: Event) -> None:
+        """Consume one event."""
+
+    def close(self) -> None:
+        """Flush and release resources; further emits are undefined."""
+
+
+class NullSink(EventSink):
+    """Accepts and discards every event."""
+
+    def emit(self, event: Event) -> None:
+        pass
+
+
+class MemorySink(EventSink):
+    """A ring buffer of the most recent ``capacity`` events."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._buffer: deque = deque(maxlen=capacity)
+
+    def emit(self, event: Event) -> None:
+        self._buffer.append(event)
+
+    def events(self, name: Optional[str] = None) -> List[Event]:
+        """Buffered events in emission order, optionally one name only."""
+        if name is None:
+            return list(self._buffer)
+        return [e for e in self._buffer if e.name == name]
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JSONLSink(EventSink):
+    """Writes each event as one JSON line to a file.
+
+    ``snapshot`` events are skipped: their payload is the full node
+    state of the machine, meant for in-process
+    :class:`~repro.fabric.trace.RoundTrace` consumers, not for disk.
+    """
+
+    def __init__(self, path: str):
+        self._path = path
+        self._fh: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+        self.written = 0
+
+    @property
+    def path(self) -> str:
+        """Where the trace is being written."""
+        return self._path
+
+    def emit(self, event: Event) -> None:
+        if self._fh is None:
+            raise ValueError(f"JSONLSink({self._path!r}) is closed")
+        if event.name == "snapshot":
+            return
+        self._fh.write(json.dumps(event.to_dict(), separators=(",", ":")))
+        self._fh.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JSONLSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,141 @@
+"""Nested wall-clock spans, exportable as Chrome ``trace_event`` JSON.
+
+A :class:`SpanRecorder` measures named stretches of work —
+``label_mesh`` > ``phase1`` > ``engine_round`` — with
+:func:`time.perf_counter_ns`.  Spans nest by lexical scoping (the
+``with`` statement), and the export uses the Chrome trace-event
+*complete* form (``"ph": "X"`` with microsecond ``ts``/``dur``), which
+``chrome://tracing`` and Perfetto render as a nested flame graph from
+timestamp containment alone.
+
+:func:`load_chrome_trace` is the strict loader the CI ``obs`` job runs
+over every exported trace: it rejects files Chrome would silently
+misrender (missing ``dur``, non-numeric timestamps, unknown phase
+letters).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+from repro.errors import ObservabilityError
+from repro.obs.events import jsonable
+
+__all__ = ["SpanRecorder", "load_chrome_trace"]
+
+#: Phase letters the strict loader accepts ("X" complete, "B"/"E"
+#: begin/end, "M" metadata, "i" instant).
+_VALID_PHASES = frozenset({"X", "B", "E", "M", "i"})
+
+
+class SpanRecorder:
+    """Collects completed spans; one recorder per profiled run."""
+
+    __slots__ = ("_origin_ns", "_events", "_depth")
+
+    def __init__(self) -> None:
+        self._origin_ns = time.perf_counter_ns()
+        self._events: List[Dict[str, Any]] = []
+        self._depth = 0
+
+    @contextmanager
+    def span(self, name: str, **args: Any) -> Iterator[None]:
+        """Measure one nested stretch of work.
+
+        ``args`` become the trace event's ``args`` mapping (JSON-coerced
+        at export).  Exceptions propagate; the span still closes, so a
+        failed phase shows its true duration.
+        """
+        start_ns = time.perf_counter_ns()
+        self._depth += 1
+        try:
+            yield
+        finally:
+            self._depth -= 1
+            end_ns = time.perf_counter_ns()
+            self._events.append(
+                {
+                    "name": name,
+                    "ph": "X",
+                    "ts": (start_ns - self._origin_ns) / 1000.0,
+                    "dur": (end_ns - start_ns) / 1000.0,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {k: jsonable(v) for k, v in args.items()},
+                }
+            )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The Chrome trace-event JSON object for all closed spans.
+
+        Events are sorted by start time (Chrome tolerates any order;
+        sorting makes the artefact diffable).
+        """
+        return {
+            "traceEvents": sorted(self._events, key=lambda e: e["ts"]),
+            "displayTimeUnit": "ms",
+        }
+
+    def write(self, path: str) -> None:
+        """Export :meth:`to_chrome_trace` to a file."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=2)
+            fh.write("\n")
+
+
+def load_chrome_trace(path: str) -> Dict[str, Any]:
+    """Strictly load and validate a Chrome trace-event JSON file.
+
+    Returns the decoded object.  Accepts the object form
+    (``{"traceEvents": [...]}``) only — the bare-array legacy form is
+    rejected, as are events missing required keys.
+
+    Raises
+    ------
+    ObservabilityError
+        On unparseable JSON or any malformed trace event.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ObservabilityError(f"cannot load chrome trace {path}: {exc}") from exc
+    if not isinstance(data, Mapping) or "traceEvents" not in data:
+        raise ObservabilityError(
+            f"{path}: expected an object with a 'traceEvents' array"
+        )
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        raise ObservabilityError(f"{path}: 'traceEvents' is not an array")
+    for i, ev in enumerate(events):
+        _check_trace_event(ev, f"{path}: traceEvents[{i}]")
+    return data
+
+
+def _check_trace_event(ev: Any, where: str) -> None:
+    if not isinstance(ev, Mapping):
+        raise ObservabilityError(f"{where}: not an object")
+    for key in ("name", "ph", "ts", "pid", "tid"):
+        if key not in ev:
+            raise ObservabilityError(f"{where}: missing {key!r}")
+    if ev["ph"] not in _VALID_PHASES:
+        raise ObservabilityError(f"{where}: unknown phase {ev['ph']!r}")
+    if not _is_number(ev["ts"]):
+        raise ObservabilityError(f"{where}: non-numeric ts {ev['ts']!r}")
+    if ev["ph"] == "X":
+        if "dur" not in ev or not _is_number(ev["dur"]) or ev["dur"] < 0:
+            raise ObservabilityError(
+                f"{where}: complete event needs a non-negative numeric 'dur'"
+            )
+    if "args" in ev and not isinstance(ev["args"], Mapping):
+        raise ObservabilityError(f"{where}: 'args' is not an object")
+
+
+def _is_number(v: Any) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)

@@ -1,0 +1,208 @@
+"""Reconstruct run reports from an on-disk event trace.
+
+``repro obs summarize <trace.jsonl>`` reads a JSONL event log written
+by :class:`~repro.obs.sinks.JSONLSink`, validates every record against
+the event schemas, and rebuilds the per-epoch recovery report — the
+same numbers the engines record in
+:class:`~repro.fabric.stats.RunStats.epochs`, but recovered purely from
+the trace.  A test pins the two views of a dynamic run to exact
+agreement, which is what makes the trace trustworthy for post-mortem
+debugging of runs whose in-memory stats are gone.
+
+Runs are keyed by their bound context labels (``engine``, ``phase``),
+so one trace file may hold both phases of a pipeline run, or many sweep
+cells, without ambiguity.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs.events import validate_event_dict, _iter_jsonl
+
+__all__ = ["EpochReport", "RunReport", "TraceSummary", "summarize_trace"]
+
+#: Labels that identify which instrumented run an event belongs to.
+_RUN_LABELS = ("engine", "phase")
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """One convergence epoch, reconstructed from an ``epoch_end`` event.
+
+    Field meanings match :class:`~repro.fabric.stats.EpochStats`.
+    """
+
+    epoch: int
+    at_time: int
+    crashed: Tuple[Tuple[int, int], ...]
+    rounds: int
+    executed_rounds: int
+    messages: int
+    dropped: int
+    duplicated: int
+
+
+@dataclass
+class RunReport:
+    """Everything reconstructed about one engine run in the trace."""
+
+    key: Tuple[Tuple[str, str], ...]  # sorted (label, value) pairs
+    epochs: List[EpochReport] = field(default_factory=list)
+    rounds: Optional[int] = None
+    executed_rounds: Optional[int] = None
+    messages: Optional[int] = None
+    heartbeats: Optional[int] = None
+    dropped: Optional[int] = None
+    duplicated: Optional[int] = None
+
+    @property
+    def recovery_rounds(self) -> int:
+        """Changing rounds in epochs after the first (recovery cost)."""
+        return sum(e.rounds for e in self.epochs[1:])
+
+    def label(self) -> str:
+        """Human-readable run key, e.g. ``engine=sync phase=unsafe``."""
+        if not self.key:
+            return "(unlabeled)"
+        return " ".join(f"{k}={v}" for k, v in self.key)
+
+
+@dataclass
+class TraceSummary:
+    """The full reconstruction of one trace file."""
+
+    path: str
+    events_total: int
+    by_name: Dict[str, int]
+    runs: List[RunReport]
+
+    def run(self, **labels: Any) -> RunReport:
+        """The unique run whose labels include ``labels``.
+
+        Raises :class:`~repro.errors.ObservabilityError` when no run or
+        more than one run matches.
+        """
+        wanted = {(str(k), str(v)) for k, v in labels.items()}
+        matches = [r for r in self.runs if wanted <= set(r.key)]
+        if len(matches) != 1:
+            raise ObservabilityError(
+                f"{len(matches)} runs match {labels!r} in {self.path} "
+                f"(runs: {[r.label() for r in self.runs]})"
+            )
+        return matches[0]
+
+
+def summarize_trace(path: str) -> TraceSummary:
+    """Read, validate, and summarize an event-log JSONL file."""
+    tally: TallyCounter = TallyCounter()
+    reports: Dict[Tuple[Tuple[str, str], ...], RunReport] = {}
+    total = 0
+    for lineno, record in _iter_jsonl(path):
+        try:
+            validate_event_dict(record)
+        except ObservabilityError as exc:
+            raise ObservabilityError(f"{path}:{lineno}: {exc}") from exc
+        total += 1
+        name = record["name"]
+        tally[name] += 1
+        if name not in ("epoch_end", "run_end"):
+            continue
+        fields = record["fields"]
+        key = _run_key(fields)
+        report = reports.get(key)
+        if report is None:
+            report = reports[key] = RunReport(key=key)
+        if name == "epoch_end":
+            report.epochs.append(
+                EpochReport(
+                    epoch=int(fields["epoch"]),
+                    at_time=int(fields["at_time"]),
+                    crashed=tuple(
+                        (int(x), int(y)) for x, y in fields["crashed"]
+                    ),
+                    rounds=int(fields["rounds"]),
+                    executed_rounds=int(fields["executed_rounds"]),
+                    messages=int(fields["messages"]),
+                    dropped=int(fields["dropped"]),
+                    duplicated=int(fields["duplicated"]),
+                )
+            )
+        elif name == "run_end":
+            report.rounds = int(fields["rounds"])
+            report.executed_rounds = int(fields["executed_rounds"])
+            report.messages = int(fields["messages"])
+            report.heartbeats = int(fields["heartbeats"])
+            report.dropped = int(fields["dropped"])
+            report.duplicated = int(fields["duplicated"])
+    for report in reports.values():
+        report.epochs.sort(key=lambda e: e.epoch)
+        _check_consistency(path, report)
+    runs = [reports[k] for k in sorted(reports)]
+    return TraceSummary(
+        path=path, events_total=total, by_name=dict(tally), runs=runs
+    )
+
+
+def _run_key(fields: Mapping[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(
+        (k, str(fields[k])) for k in _RUN_LABELS if k in fields
+    )
+
+
+def _check_consistency(path: str, report: RunReport) -> None:
+    """Epoch message sums must agree with the run total when both exist.
+
+    Only ``messages`` is cross-checked: executed-round accounting differs
+    by engine (the asynchronous engine reports a single aggregate entry
+    in ``changes_per_round`` while its epochs count per-delivery steps),
+    so round sums are engine-specific and not an invariant of the trace.
+    """
+    if report.messages is None or not report.epochs:
+        return
+    epoch_messages = sum(e.messages for e in report.epochs)
+    if epoch_messages != report.messages:
+        raise ObservabilityError(
+            f"{path}: run {report.label()} is inconsistent: epochs sum to "
+            f"{epoch_messages} messages but run_end reports {report.messages}"
+        )
+
+
+def format_summary(summary: TraceSummary) -> str:
+    """The plain-text report ``repro obs summarize`` prints."""
+    lines: List[str] = [
+        f"{summary.path}: {summary.events_total} events",
+        "",
+    ]
+    for name in sorted(summary.by_name):
+        lines.append(f"  {name:>18}: {summary.by_name[name]}")
+    for report in summary.runs:
+        lines.append("")
+        header = f"run [{report.label()}]"
+        if report.rounds is not None:
+            header += (
+                f": {report.rounds} rounds, {report.messages} messages, "
+                f"{report.heartbeats} heartbeats, {report.dropped} dropped, "
+                f"{report.duplicated} duplicated"
+            )
+        lines.append(header)
+        if report.epochs:
+            lines.append(
+                f"  {len(report.epochs)} epochs, "
+                f"{report.recovery_rounds} recovery rounds:"
+            )
+            for ep in report.epochs:
+                crashed = (
+                    "initial"
+                    if not ep.crashed
+                    else "crash " + " ".join(f"{x},{y}" for x, y in ep.crashed)
+                )
+                lines.append(
+                    f"    epoch {ep.epoch} t={ep.at_time:>4} {crashed}: "
+                    f"{ep.rounds} rounds, {ep.messages} messages, "
+                    f"{ep.dropped} dropped"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""RoundTrace recording on the asynchronous engine.
+
+Frames are keyed by the delivery-event count — the async analogue of
+the synchronous engine's per-round frames — with frame 0 capturing the
+state after initialisation (start + static wake-up steps) but before
+any delivery.
+"""
+
+import numpy as np
+
+from repro.core.protocols import SafetyProgram
+from repro.core.status import SafetyDefinition
+from repro.fabric import AsynchronousEngine, RoundTrace
+from repro.faults import FaultSet
+from repro.mesh import Mesh2D
+
+FAULTS = [(2, 2), (2, 3), (3, 2), (3, 3), (2, 4), (4, 2)]
+
+
+def _engine(record_trace):
+    topo = Mesh2D(9, 9)
+    faults = FaultSet.from_coords(topo.shape, FAULTS)
+    return AsynchronousEngine(
+        topo,
+        frozenset(faults),
+        factory=lambda ctx: SafetyProgram(ctx, SafetyDefinition.DEF_2B),
+        rng=np.random.default_rng(4),
+        record_trace=record_trace,
+    )
+
+
+class TestAsyncRoundTrace:
+    def test_off_by_default(self):
+        assert _engine(False).run().trace is None
+
+    def test_frames_keyed_by_delivery_events(self):
+        result = _engine(True).run()
+        trace = result.trace
+        assert isinstance(trace, RoundTrace)
+        keys = [key for key, _ in trace.frames()]
+        assert keys[0] == 0  # post-initialisation frame
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)
+        assert all(k >= 1 for k in keys[1:])
+
+    def test_final_frame_is_final_state(self):
+        result = _engine(True).run()
+        _, last = result.trace.frames()[-1]
+        assert last == result.snapshots
+
+    def test_unsafe_statuses_monotone_across_frames(self):
+        result = _engine(True).run()
+        frames = result.trace.frames()
+        for (_, before), (_, after) in zip(frames, frames[1:]):
+            for coord, was_unsafe in before.items():
+                if was_unsafe and coord in after:
+                    assert after[coord], f"{coord} reverted to safe"

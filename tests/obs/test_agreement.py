@@ -1,0 +1,175 @@
+"""Telemetry must agree bit-for-bit with the engines' own accounting.
+
+Two pinning suites:
+
+* the metrics snapshot of a traced run equals its ``RunStats`` fields
+  exactly, across engines x channels x fault schedules;
+* ``summarize_trace`` on the run's JSONL event log rebuilds the same
+  per-epoch recovery report as ``RunStats.epochs``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import (
+    async_unsafe,
+    distributed_enabled,
+    distributed_unsafe,
+)
+from repro.fabric import ChannelModel
+from repro.faults import FaultSchedule, FaultSet
+from repro.mesh import Mesh2D
+from repro.obs import JSONLSink, MemorySink, MetricsRegistry, Telemetry
+from repro.obs.summarize import summarize_trace
+
+FAULTS = [(1, 1), (1, 2), (2, 1), (2, 2), (5, 5)]
+SCHEDULE = [(2, (6, 2)), (2, (6, 3)), (5, (3, 6))]
+
+
+def _channel(kind):
+    if kind == "reliable":
+        return None
+    return ChannelModel(
+        drop_prob=0.25,
+        dup_prob=0.1,
+        rng=np.random.default_rng(77),
+        max_drops=40,
+    )
+
+
+def _run(engine, channel_kind, dynamic, telemetry):
+    topo = Mesh2D(8, 8)
+    faults = FaultSet.from_coords(topo.shape, FAULTS)
+    schedule = FaultSchedule(SCHEDULE) if dynamic else None
+    channel = _channel(channel_kind)
+    if engine == "sync":
+        _, stats, _ = distributed_unsafe(
+            topo, faults, schedule=schedule, channel=channel, telemetry=telemetry
+        )
+    else:
+        _, stats = async_unsafe(
+            topo,
+            faults,
+            np.random.default_rng(3),
+            schedule=schedule,
+            channel=channel,
+            telemetry=telemetry,
+        )
+    return stats
+
+
+@pytest.mark.parametrize("engine", ["sync", "async"])
+@pytest.mark.parametrize("channel_kind", ["reliable", "lossy"])
+@pytest.mark.parametrize("dynamic", [False, True])
+class TestMetricsMatchRunStats:
+    def test_snapshot_equals_stats(self, engine, channel_kind, dynamic):
+        reg = MetricsRegistry()
+        stats = _run(engine, channel_kind, dynamic, Telemetry(metrics=reg))
+
+        def counter(name):
+            return reg.counter(name, engine=engine).value
+
+        assert counter("engine_rounds_total") == stats.rounds
+        assert counter("engine_rounds_executed_total") == stats.executed_rounds
+        assert counter("engine_messages_total") == stats.total_messages
+        assert counter("engine_heartbeats_total") == stats.heartbeats
+        assert counter("engine_recovery_rounds_total") == stats.recovery_rounds
+        assert counter("channel_dropped_total") == stats.dropped_messages
+        assert counter("channel_duplicated_total") == stats.duplicated_messages
+
+        messages = reg.histogram("engine_messages_per_round", engine=engine)
+        assert messages.count == stats.executed_rounds
+        assert messages.total == stats.total_messages
+        flips = reg.histogram("engine_flips_per_round", engine=engine)
+        assert flips.total == sum(stats.changes_per_round)
+
+    def test_telemetry_does_not_change_results(self, engine, channel_kind, dynamic):
+        baseline = _run(engine, channel_kind, dynamic, None)
+        traced = _run(
+            engine, channel_kind, dynamic, Telemetry(metrics=MetricsRegistry())
+        )
+        assert baseline == traced
+
+
+@pytest.mark.parametrize("engine", ["sync", "async"])
+class TestSummarizeMatchesRunStats:
+    def test_epoch_report_agrees(self, engine, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JSONLSink(str(path))
+        tel = Telemetry(sinks=(sink,))
+        stats = _run(engine, "lossy", True, tel)
+        tel.close()
+
+        report = summarize_trace(str(path)).run(engine=engine)
+        assert report.rounds == stats.rounds
+        assert report.messages == stats.total_messages
+        assert report.heartbeats == stats.heartbeats
+        assert report.dropped == stats.dropped_messages
+        assert report.duplicated == stats.duplicated_messages
+        assert report.recovery_rounds == stats.recovery_rounds
+        assert len(report.epochs) == len(stats.epochs)
+        for got, want in zip(report.epochs, stats.epochs):
+            assert got.at_time == want.at_time
+            assert got.crashed == tuple(want.crashed)
+            assert got.rounds == want.rounds
+            assert got.executed_rounds == want.executed_rounds
+            assert got.messages == want.messages
+            assert got.dropped == want.dropped
+            assert got.duplicated == want.duplicated
+
+
+class TestEventLog:
+    def test_sync_round_events_cover_every_round(self):
+        sink = MemorySink()
+        topo = Mesh2D(8, 8)
+        faults = FaultSet.from_coords(topo.shape, FAULTS)
+        _, stats, _ = distributed_unsafe(
+            topo, faults, telemetry=Telemetry(sinks=(sink,))
+        )
+        rounds = sink.events("round_start")
+        assert len(rounds) == stats.executed_rounds
+        assert [e.fields["delivered"] for e in rounds] == stats.messages_per_round
+        assert all(e.fields["engine"] == "sync" for e in rounds)
+
+    def test_node_flips_only_at_debug(self):
+        topo = Mesh2D(8, 8)
+        faults = FaultSet.from_coords(topo.shape, FAULTS)
+
+        info_sink = MemorySink()
+        distributed_unsafe(topo, faults, telemetry=Telemetry(sinks=(info_sink,)))
+        assert not info_sink.events("node_flip")
+
+        debug_sink = MemorySink()
+        _, stats, _ = distributed_unsafe(
+            topo,
+            faults,
+            telemetry=Telemetry(sinks=(debug_sink,), log_level="debug"),
+        )
+        assert len(debug_sink.events("node_flip")) == sum(stats.changes_per_round)
+
+    def test_lossy_channel_emits_drop_events(self):
+        sink = MemorySink()
+        topo = Mesh2D(8, 8)
+        faults = FaultSet.from_coords(topo.shape, FAULTS)
+        _, stats, _ = distributed_unsafe(
+            topo,
+            faults,
+            channel=_channel("lossy"),
+            telemetry=Telemetry(sinks=(sink,), log_level="debug"),
+        )
+        assert len(sink.events("message_dropped")) == stats.dropped_messages
+        assert len(sink.events("message_duplicated")) == stats.duplicated_messages
+
+    def test_phase2_events_share_the_trace(self):
+        sink = MemorySink()
+        tel = Telemetry(sinks=(sink,))
+        topo = Mesh2D(8, 8)
+        faults = FaultSet.from_coords(topo.shape, FAULTS)
+        unsafe, _, _ = distributed_unsafe(
+            topo, faults, telemetry=tel.child(phase="unsafe")
+        )
+        distributed_enabled(
+            topo, faults, unsafe, telemetry=tel.child(phase="enable")
+        )
+        phases = {e.fields.get("phase") for e in sink.events("run_start")}
+        assert phases == {"unsafe", "enable"}

@@ -1,0 +1,145 @@
+"""Unit tests for event sinks and the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Event,
+    JSONLSink,
+    MemorySink,
+    MetricsRegistry,
+    NullSink,
+    snapshot_event,
+)
+
+
+def _ev(name="heartbeat", **fields):
+    fields.setdefault("seq", 1)
+    fields.setdefault("clock", 2)
+    return Event(name=name, t=0.0, level="info", fields=fields)
+
+
+class TestMemorySink:
+    def test_keeps_order(self):
+        sink = MemorySink()
+        sink.emit(_ev(seq=1))
+        sink.emit(_ev(seq=2))
+        assert [e.fields["seq"] for e in sink.events()] == [1, 2]
+
+    def test_ring_buffer_drops_oldest(self):
+        sink = MemorySink(capacity=2)
+        for i in range(5):
+            sink.emit(_ev(seq=i))
+        assert [e.fields["seq"] for e in sink.events()] == [3, 4]
+        assert len(sink) == 2
+
+    def test_name_filter(self):
+        sink = MemorySink()
+        sink.emit(_ev())
+        sink.emit(
+            Event(name="round_start", t=0.0, level="info",
+                  fields={"round": 1, "clock": 1, "delivered": 0})
+        )
+        assert len(sink.events("round_start")) == 1
+        assert len(sink.events("heartbeat")) == 1
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            MemorySink(capacity=0)
+
+
+class TestJSONLSink:
+    def test_writes_one_line_per_event(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JSONLSink(str(path)) as sink:
+            sink.emit(_ev(seq=1))
+            sink.emit(_ev(seq=2))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["fields"]["seq"] == 1
+        assert sink.written == 2
+
+    def test_skips_snapshot_events(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JSONLSink(str(path)) as sink:
+            sink.emit(snapshot_event(0, {(0, 0): True}))
+            sink.emit(_ev())
+        assert sink.written == 1
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JSONLSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit(_ev())
+
+    def test_null_sink_discards(self):
+        NullSink().emit(_ev())  # nothing observable, must not raise
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("messages")
+        c.inc()
+        c.inc(5)
+        assert reg.counter("messages").value == 6
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_gauge_up_and_down(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(5)
+        g.dec(2)
+        g.inc()
+        assert g.value == 4
+
+    def test_histogram_aggregates(self):
+        h = MetricsRegistry().histogram("sizes")
+        for v in (4, 1, 7):
+            h.observe(v)
+        assert (h.count, h.total, h.min, h.max) == (3, 12, 1, 7)
+
+    def test_labels_make_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("rounds", engine="sync").inc(3)
+        reg.counter("rounds", engine="async").inc(4)
+        snap = reg.snapshot()
+        assert snap["counters"]['rounds{engine="sync"}'] == 3
+        assert snap["counters"]['rounds{engine="async"}'] == 4
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("m", a="1", b="2")
+        b = reg.counter("m", b="2", a="1")
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError, match="Counter"):
+            reg.gauge("m")
+
+    def test_snapshot_is_json_ready(self):
+        reg = MetricsRegistry()
+        reg.counter("c", k="v").inc()
+        reg.gauge("g").set(2)
+        reg.histogram("h").observe(3)
+        payload = json.dumps(reg.snapshot())
+        assert '"c{k=\\"v\\"}"' in payload
+
+    def test_write(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        path = tmp_path / "metrics.json"
+        reg.write(str(path))
+        assert json.loads(path.read_text())["counters"]["c"] == 2
+
+    def test_integer_series_stay_integers(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc(2)
+        assert isinstance(reg.snapshot()["counters"]["c"], int)

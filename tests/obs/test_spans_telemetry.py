@@ -1,0 +1,172 @@
+"""Unit tests for the span recorder, the strict Chrome-trace loader,
+and the telemetry facade."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    MemorySink,
+    MetricsRegistry,
+    SpanRecorder,
+    Telemetry,
+    load_chrome_trace,
+)
+
+
+class TestSpanRecorder:
+    def test_records_complete_events(self):
+        rec = SpanRecorder()
+        with rec.span("outer", phase=1):
+            with rec.span("inner"):
+                pass
+        trace = rec.to_chrome_trace()
+        names = [e["name"] for e in trace["traceEvents"]]
+        assert set(names) == {"outer", "inner"}
+        for e in trace["traceEvents"]:
+            assert e["ph"] == "X"
+            assert e["dur"] >= 0
+            assert e["ts"] >= 0
+
+    def test_nesting_by_containment(self):
+        rec = SpanRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        by_name = {e["name"]: e for e in rec.to_chrome_trace()["traceEvents"]}
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-6
+
+    def test_span_closes_on_exception(self):
+        rec = SpanRecorder()
+        with pytest.raises(RuntimeError):
+            with rec.span("failing"):
+                raise RuntimeError("boom")
+        assert len(rec) == 1
+
+    def test_args_are_jsonable(self, tmp_path):
+        rec = SpanRecorder()
+        with rec.span("s", node=(1, 2)):
+            pass
+        path = tmp_path / "trace.json"
+        rec.write(str(path))
+        data = load_chrome_trace(str(path))
+        assert data["traceEvents"][0]["args"] == {"node": [1, 2]}
+
+
+class TestChromeTraceLoader:
+    def _load(self, tmp_path, payload):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(payload))
+        return load_chrome_trace(str(path))
+
+    def test_roundtrip(self, tmp_path):
+        rec = SpanRecorder()
+        with rec.span("a"):
+            pass
+        path = tmp_path / "trace.json"
+        rec.write(str(path))
+        assert len(load_chrome_trace(str(path))["traceEvents"]) == 1
+
+    def test_rejects_bare_array(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="traceEvents"):
+            self._load(tmp_path, [])
+
+    def test_rejects_missing_dur_on_complete(self, tmp_path):
+        bad = {"traceEvents": [{"name": "x", "ph": "X", "ts": 0, "pid": 0, "tid": 0}]}
+        with pytest.raises(ObservabilityError, match="dur"):
+            self._load(tmp_path, bad)
+
+    def test_rejects_unknown_phase(self, tmp_path):
+        bad = {"traceEvents": [{"name": "x", "ph": "Q", "ts": 0, "pid": 0, "tid": 0}]}
+        with pytest.raises(ObservabilityError, match="phase"):
+            self._load(tmp_path, bad)
+
+    def test_rejects_non_numeric_ts(self, tmp_path):
+        bad = {
+            "traceEvents": [
+                {"name": "x", "ph": "i", "ts": "soon", "pid": 0, "tid": 0}
+            ]
+        }
+        with pytest.raises(ObservabilityError, match="ts"):
+            self._load(tmp_path, bad)
+
+    def test_rejects_unparseable_file(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text("{")
+        with pytest.raises(ObservabilityError, match="cannot load"):
+            load_chrome_trace(str(path))
+
+
+class TestTelemetry:
+    def test_emit_reaches_all_sinks(self):
+        a, b = MemorySink(), MemorySink()
+        tel = Telemetry(sinks=(a, b))
+        tel.emit("heartbeat", seq=1, clock=2)
+        assert len(a) == 1 and len(b) == 1
+
+    def test_level_filtering(self):
+        sink = MemorySink()
+        tel = Telemetry(sinks=(sink,), log_level="info")
+        tel.emit("node_flip", node=(0, 0), clock=1)  # debug by default
+        tel.emit("heartbeat", seq=1, clock=2)
+        assert [e.name for e in sink.events()] == ["heartbeat"]
+        assert tel.wants("info") and not tel.wants("debug")
+
+    def test_debug_level_keeps_everything(self):
+        sink = MemorySink()
+        tel = Telemetry(sinks=(sink,), log_level="debug")
+        tel.emit("node_flip", node=(0, 0), clock=1)
+        assert len(sink) == 1
+
+    def test_no_sinks_wants_nothing(self):
+        tel = Telemetry(metrics=MetricsRegistry())
+        assert not tel.wants("info")
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            Telemetry(log_level="verbose")
+
+    def test_child_labels_ride_on_events(self):
+        sink = MemorySink()
+        tel = Telemetry(sinks=(sink,)).child(engine="sync").child(phase="unsafe")
+        tel.emit("heartbeat", seq=1, clock=2)
+        fields = sink.events()[0].fields
+        assert fields["engine"] == "sync" and fields["phase"] == "unsafe"
+
+    def test_explicit_fields_beat_labels(self):
+        sink = MemorySink()
+        tel = Telemetry(sinks=(sink,)).child(seq=99)
+        tel.emit("heartbeat", seq=1, clock=2)
+        assert sink.events()[0].fields["seq"] == 1
+
+    def test_child_labels_ride_on_metrics(self):
+        reg = MetricsRegistry()
+        tel = Telemetry(metrics=reg).child(engine="async")
+        tel.counter("rounds").inc(2)
+        assert reg.snapshot()["counters"]['rounds{engine="async"}'] == 2
+
+    def test_metric_helpers_none_without_registry(self):
+        tel = Telemetry(sinks=(MemorySink(),))
+        assert tel.counter("x") is None
+        assert tel.gauge("x") is None
+        assert tel.histogram("x") is None
+
+    def test_span_noop_without_recorder(self):
+        tel = Telemetry(sinks=(MemorySink(),))
+        with tel.span("anything"):
+            pass  # must be a shared no-op context
+
+    def test_span_records_with_recorder(self):
+        rec = SpanRecorder()
+        tel = Telemetry(spans=rec)
+        with tel.span("work"):
+            pass
+        assert len(rec) == 1
+
+    def test_null_exercises_emit_path(self):
+        tel = Telemetry.null()
+        assert tel.wants("debug")
+        tel.emit("node_flip", node=(0, 0), clock=1)  # must not raise
