@@ -22,12 +22,12 @@ definition (and optionally the topology) and reports every combination.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.executor import run_cells
 from repro.analysis.experiment import trial_rng
 from repro.analysis.stats import Summary, summarize
 from repro.analysis.tables import format_table
@@ -98,13 +98,18 @@ _TrialRow = Tuple[float, float, List[float], float, float]
 
 
 def _fig5_trial(
-    task: Tuple[Topology, SafetyDefinition, str, int, int, int, int, int],
+    task: Tuple[Topology, SafetyDefinition, str, str, int, int, int, int, int],
 ) -> _TrialRow:
-    topo, definition, method, f, fi, ti, trials, seed = task
+    topo, definition, method, geometry_backend, f, fi, ti, trials, seed = task
     rng = trial_rng(trials, seed + _F_SEED_STRIDE * fi, ti)
     faults = uniform_random(topo.shape, f, rng)
     result = label_mesh(
-        topo, faults, definition, backend="vectorized", method=method
+        topo,
+        faults,
+        definition,
+        backend="vectorized",
+        method=method,
+        geometry_backend=geometry_backend,
     )
     return (
         float(result.rounds_phase1),
@@ -123,6 +128,7 @@ def run_fig5(
     seed: int = 20010423,
     method: str = "auto",
     jobs: int = 1,
+    geometry_backend: str = "vectorized",
 ) -> Fig5Curve:
     """Run the Figure-5 sweep for one definition/topology combination.
 
@@ -142,23 +148,23 @@ def run_fig5(
         Vectorized labeling kernel (see
         :func:`repro.core.pipeline.label_mesh`).
     jobs:
-        Worker processes for the (f, trial) grid; any value yields
-        identical results because every cell's generator is derived
-        from its grid position, not the schedule.
+        Worker processes for the (f, trial) grid, dispatched through
+        the warm chunked executor of :mod:`repro.analysis.executor`;
+        any value yields identical results because every cell's
+        generator is derived from its grid position, not the schedule.
+    geometry_backend:
+        Block/region extraction backend (see
+        :func:`repro.core.pipeline.label_mesh`).
     """
     topo = topology if topology is not None else Mesh2D(100, 100)
     if trials < 1:
         raise ValueError(f"need at least one trial, got {trials}")
     tasks = [
-        (topo, definition, method, f, fi, ti, trials, seed)
+        (topo, definition, method, geometry_backend, f, fi, ti, trials, seed)
         for fi, f in enumerate(f_values)
         for ti in range(trials)
     ]
-    if jobs <= 1:
-        rows = [_fig5_trial(t) for t in tasks]
-    else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            rows = list(pool.map(_fig5_trial, tasks))
+    rows, _ = run_cells(_fig5_trial, tasks, jobs)
 
     points: List[Fig5Point] = []
     for fi, f in enumerate(f_values):

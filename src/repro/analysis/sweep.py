@@ -5,12 +5,19 @@ metric function over a grid of parameter values with per-point trial
 replication, returning rows ready for
 :func:`repro.analysis.tables.format_table`.
 
-``jobs > 1`` distributes the (value, trial) grid over a process pool.
-Every cell's generator is derived from ``(seed, value_index,
+``jobs > 1`` distributes the (value, trial) grid over the amortized
+chunked executor of :mod:`repro.analysis.executor`: a warm process pool
+shared across sweeps, chunk sizes calibrated from the first cell's
+measured cost, and an automatic serial fallback when the sweep is too
+small to amortize the pool — so ``jobs > 1`` is never slower than
+serial.  Every cell's generator is derived from ``(seed, value_index,
 trial_index)`` alone, so results are bit-identical to a serial sweep
-regardless of scheduling; aggregation happens in deterministic (value,
-trial) order either way.  The metric function must be picklable (a
-module-level function) when ``jobs > 1``.
+regardless of scheduling, chunking, or fallback; aggregation happens in
+deterministic (value, trial) order either way.  The metric function
+must be picklable (a module-level function) when ``jobs > 1``.  Note
+that the fallback evaluates cells in the parent process; pass an
+explicit ``chunk_size`` to force worker isolation for metrics that may
+crash their process.
 
 Sweeps degrade gracefully: a cell whose metric function raises does not
 abort the sweep.  The cell contributes no samples and is recorded as a
@@ -18,18 +25,17 @@ abort the sweep.  The cell contributes no samples and is recorded as a
 multi-hour sweeps report partial results plus a precise account of what
 went wrong instead of dying on the last trial.  A worker process dying
 outright (``BrokenProcessPool``) is retried on a fresh pool a bounded
-number of times before the affected cells are marked failed.
+number of times before the poison cell is isolated and marked failed.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.executor import _BROKEN_POOL_RETRIES, run_cells
 from repro.analysis.experiment import trial_rng
 from repro.analysis.stats import Summary, summarize
 from repro.obs.telemetry import Telemetry
@@ -38,10 +44,6 @@ __all__ = ["CellFailure", "SweepPoint", "sweep"]
 
 #: Decorrelates the per-value root seeds (same constant as always).
 _VALUE_SEED_STRIDE = 104729
-
-#: Fresh pools tried after a worker crash before giving up on the
-#: remaining cells of a batch.
-_BROKEN_POOL_RETRIES = 2
 
 MetricFn = Callable[[object, np.random.Generator], Dict[str, float]]
 
@@ -89,36 +91,12 @@ def _eval_cell(task: Tuple[MetricFn, object, int, int, int, int]):
         return _CellError(f"{type(exc).__name__}: {exc}")
 
 
-def _eval_parallel(tasks: List[tuple], jobs: int) -> List[object]:
-    """Evaluate cells on a process pool, surviving worker crashes.
-
-    A ``BrokenProcessPool`` (worker killed by the OS, segfault in a
-    native extension, ...) poisons the whole executor, so the batch is
-    resumed on a fresh pool from the first unfinished cell.  A cell is
-    first *retried* — the crash may have been a healthy cell caught in
-    another cell's blast radius, or a transient OOM kill — and only
-    marked failed once it has crashed ``_BROKEN_POOL_RETRIES`` fresh
-    pools from the same resume position.
-    """
-    rows: List[object] = []
-    crashes_at: Dict[int, int] = {}
-    while len(rows) < len(tasks):
-        start = len(rows)
-        try:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                for row in pool.map(_eval_cell, tasks[start:]):
-                    rows.append(row)
-        except BrokenProcessPool:
-            pos = len(rows)
-            crashes_at[pos] = crashes_at.get(pos, 0) + 1
-            if crashes_at[pos] > _BROKEN_POOL_RETRIES:
-                rows.append(
-                    _CellError(
-                        "worker lost: BrokenProcessPool "
-                        f"(after {_BROKEN_POOL_RETRIES} pool retries)"
-                    )
-                )
-    return rows
+def _broken_cell() -> "_CellError":
+    """The placeholder for a cell that kept killing its workers."""
+    return _CellError(
+        "worker lost: BrokenProcessPool "
+        f"(after {_BROKEN_POOL_RETRIES} pool retries)"
+    )
 
 
 def sweep(
@@ -128,16 +106,19 @@ def sweep(
     seed: int = 0,
     jobs: int = 1,
     telemetry: Optional[Telemetry] = None,
+    chunk_size: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Evaluate ``fn(value, rng) -> {metric: number}`` over a value grid.
 
     Each (value, trial) combination receives an independent spawned
     generator; metrics are summarised per value.  Metric keys may vary
     between trials (missing keys are simply absent from that sample).
-    ``jobs > 1`` evaluates the grid on a process pool with identical
-    results (see module docstring).  A raising cell is recorded on its
-    point's ``failures`` instead of aborting the sweep — identically in
-    serial and parallel runs.
+    ``jobs > 1`` evaluates the grid on the warm chunked executor with
+    identical results (see module docstring); ``chunk_size`` overrides
+    the calibrated cells-per-dispatch and forces parallel execution
+    even when the amortization estimate would fall back to serial.  A
+    raising cell is recorded on its point's ``failures`` instead of
+    aborting the sweep — identically in serial and parallel runs.
 
     ``telemetry`` (optional) profiles the evaluation (a ``sweep_cell``
     span per cell serially, one ``sweep_eval`` span per pool batch),
@@ -157,6 +138,7 @@ def sweep(
     ]
     tel = telemetry
     spans_on = tel is not None and tel.spans is not None
+    events_on = tel is not None and tel.wants("info")
     if jobs <= 1:
         if spans_on:
             rows = []
@@ -165,13 +147,32 @@ def sweep(
                     rows.append(_eval_cell(task))
         else:
             rows = [_eval_cell(task) for task in tasks]
-    elif spans_on:
-        with tel.spans.span("sweep_eval", jobs=jobs, cells=len(tasks)):
-            rows = _eval_parallel(tasks, jobs)
     else:
-        rows = _eval_parallel(tasks, jobs)
-
-    events_on = tel is not None and tel.wants("info")
+        if spans_on:
+            with tel.spans.span("sweep_eval", jobs=jobs, cells=len(tasks)):
+                rows, plan = run_cells(
+                    _eval_cell,
+                    tasks,
+                    jobs,
+                    broken_marker=_broken_cell,
+                    chunk_size=chunk_size,
+                )
+        else:
+            rows, plan = run_cells(
+                _eval_cell,
+                tasks,
+                jobs,
+                broken_marker=_broken_cell,
+                chunk_size=chunk_size,
+            )
+        if events_on:
+            tel.emit(
+                "sweep_plan",
+                jobs=jobs,
+                parallel=plan.parallel,
+                chunk=plan.chunk_size,
+                pool_was_warm=plan.pool_was_warm,
+            )
     cells_meter = tel.counter("sweep_cells_total") if tel is not None else None
     fails_meter = (
         tel.counter("sweep_cell_failures_total") if tel is not None else None

@@ -68,6 +68,15 @@ def build_parser() -> argparse.ArgumentParser:
             default="auto",
             help="vectorized labeling kernel (frontier = sparse active-set)",
         )
+        p.add_argument(
+            "--geometry-backend",
+            choices=["vectorized", "reference"],
+            default="vectorized",
+            help=(
+                "block/region extraction implementation (reference = "
+                "per-cell BFS oracle, identical results)"
+            ),
+        )
 
     p_label = sub.add_parser("label", help="run the two-phase labeling")
     common(p_label)
@@ -151,6 +160,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["dense", "frontier", "auto"],
         default="auto",
         help="vectorized labeling kernel (frontier = sparse active-set)",
+    )
+    p_fig5.add_argument(
+        "--geometry-backend",
+        choices=["vectorized", "reference"],
+        default="vectorized",
+        help=(
+            "block/region extraction implementation (reference = "
+            "per-cell BFS oracle, identical results)"
+        ),
     )
     p_fig5.add_argument(
         "--jobs",
@@ -308,6 +326,7 @@ def _cmd_label(args) -> int:
     result = label_mesh(
         topo, faults, _definition(args), backend=args.backend, method=args.method,
         schedule=schedule, channel=channel, telemetry=telemetry,
+        geometry_backend=args.geometry_backend,
     )
     if finish_telemetry is not None:
         finish_telemetry()
@@ -367,6 +386,7 @@ def _cmd_fig5(args) -> int:
         seed=args.seed,
         method=args.method,
         jobs=args.jobs,
+        geometry_backend=args.geometry_backend,
     )
     print(curve.as_table())
     return 0

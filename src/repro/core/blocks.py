@@ -6,6 +6,12 @@ disjoint full rectangles; :func:`extract_blocks` decomposes an unsafe
 mask into blocks and — because that rectangularity is a theorem, not an
 assumption — validates it for every component, failing loudly if a
 non-rectangular component ever appears.
+
+The default ``"vectorized"`` backend runs one union-find label pass and
+reduces bounding boxes, sizes and per-block fault counts with
+``bincount``-style scatter reductions — no per-component grid scans.
+The ``"reference"`` backend keeps the original per-component path as
+the oracle; both return the identical block list (property tested).
 """
 
 from __future__ import annotations
@@ -17,7 +23,11 @@ import numpy as np
 
 from repro.errors import GeometryError
 from repro.geometry.cells import CellSet
-from repro.geometry.components import connected_components
+from repro.geometry.components import (
+    _check_backend,
+    _label_coords,
+    connected_components,
+)
 from repro.geometry.rectangles import Rect, bounding_rect, is_rectangle
 from repro.types import BoolGrid
 
@@ -66,7 +76,9 @@ class FaultyBlock:
         return self.num_nonfaulty > 0
 
 
-def extract_blocks(unsafe: BoolGrid, faulty: BoolGrid) -> List[FaultyBlock]:
+def extract_blocks(
+    unsafe: BoolGrid, faulty: BoolGrid, backend: str = "vectorized"
+) -> List[FaultyBlock]:
     """Decompose an unsafe mask into faulty blocks.
 
     Parameters
@@ -75,6 +87,9 @@ def extract_blocks(unsafe: BoolGrid, faulty: BoolGrid) -> List[FaultyBlock]:
         Phase-1 labels (must contain every fault).
     faulty:
         Ground-truth fault mask.
+    backend:
+        ``"vectorized"`` (default) or the ``"reference"`` per-component
+        oracle; identical output either way.
 
     Returns
     -------
@@ -86,20 +101,79 @@ def extract_blocks(unsafe: BoolGrid, faulty: BoolGrid) -> List[FaultyBlock]:
         If a fault lies outside the unsafe mask, or a component is not a
         full rectangle (both indicate a phase-1 bug, never user error).
     """
+    _check_backend(backend)
     if unsafe.shape != faulty.shape:
         raise GeometryError(
             f"label shapes disagree: unsafe {unsafe.shape} vs faulty {faulty.shape}"
         )
-    if np.any(faulty & ~unsafe):
-        raise GeometryError("a faulty node is missing from the unsafe mask")
+    if backend == "reference":
+        if np.any(faulty & ~unsafe):
+            raise GeometryError("a faulty node is missing from the unsafe mask")
+        blocks: List[FaultyBlock] = []
+        for comp in connected_components(
+            CellSet(unsafe), connectivity=4, backend="reference"
+        ):
+            if not is_rectangle(comp):
+                raise GeometryError(
+                    f"faulty block {comp!r} is not a rectangle — phase-1 labels corrupt"
+                )
+            rect = bounding_rect(comp)
+            faults_in = CellSet(comp.mask & faulty)
+            blocks.append(FaultyBlock(cells=comp, rect=rect, faults=faults_in))
+        return blocks
 
-    blocks: List[FaultyBlock] = []
-    for comp in connected_components(CellSet(unsafe), connectivity=4):
-        if not is_rectangle(comp):
-            raise GeometryError(
-                f"faulty block {comp!r} is not a rectangle — phase-1 labels corrupt"
+    shape = unsafe.shape
+    xs, ys = np.nonzero(unsafe)
+    fx, fy = np.nonzero(faulty)
+    # Fault containment and fault->block mapping in one binary search:
+    # a fault's linear index must appear in the sorted unsafe scan.
+    lin = xs * shape[1] + ys
+    flin = fx * shape[1] + fy
+    fpos = np.minimum(np.searchsorted(lin, flin), max(lin.size - 1, 0))
+    if flin.size and (lin.size == 0 or not np.array_equal(lin[fpos], flin)):
+        raise GeometryError("a faulty node is missing from the unsafe mask")
+    comp_of, count = _label_coords(xs, ys, shape, connectivity=4)
+    if count == 0:
+        return []
+    sizes = np.bincount(comp_of, minlength=count)
+    # Per-component bounding boxes via scatter reductions.
+    x0 = np.full(count, shape[0], dtype=np.int64)
+    y0 = np.full(count, shape[1], dtype=np.int64)
+    x1 = np.full(count, -1, dtype=np.int64)
+    y1 = np.full(count, -1, dtype=np.int64)
+    np.minimum.at(x0, comp_of, xs)
+    np.minimum.at(y0, comp_of, ys)
+    np.maximum.at(x1, comp_of, xs)
+    np.maximum.at(y1, comp_of, ys)
+    areas = (x1 - x0 + 1) * (y1 - y0 + 1)
+    bad = np.nonzero(sizes != areas)[0]
+    if bad.size:
+        culprit_mask = np.zeros(shape, dtype=bool)
+        members = comp_of == bad[0]
+        culprit_mask[xs[members], ys[members]] = True
+        raise GeometryError(
+            f"faulty block {CellSet(culprit_mask)!r} is not a rectangle — "
+            "phase-1 labels corrupt"
+        )
+    # Faults grouped by owning block (stable sort keeps row-major order).
+    fcomp = comp_of[fpos]
+    forder = np.argsort(fcomp, kind="stable")
+    fx, fy = fx[forder], fy[forder]
+    fcounts = np.bincount(fcomp, minlength=count)
+    fbounds = np.concatenate(([0], np.cumsum(fcounts)))
+    blocks = []
+    for k in range(count):
+        rect = Rect(int(x0[k]), int(y0[k]), int(x1[k]), int(y1[k]))
+        cells_mask = np.zeros(shape, dtype=bool)
+        cells_mask[rect.x0 : rect.x1 + 1, rect.y0 : rect.y1 + 1] = True
+        faults_mask = np.zeros(shape, dtype=bool)
+        members = slice(fbounds[k], fbounds[k + 1])
+        faults_mask[fx[members], fy[members]] = True
+        blocks.append(
+            FaultyBlock(
+                cells=CellSet._from_owned(cells_mask, int(sizes[k])),
+                rect=rect,
+                faults=CellSet._from_owned(faults_mask, int(fcounts[k])),
             )
-        rect = bounding_rect(comp)
-        faults_in = CellSet(comp.mask & faulty)
-        blocks.append(FaultyBlock(cells=comp, rect=rect, faults=faults_in))
+        )
     return blocks

@@ -50,6 +50,7 @@ _NULL_SPAN = nullcontext()
 
 Backend = Literal["vectorized", "distributed"]
 Method = Literal["dense", "frontier", "auto"]
+GeometryBackend = Literal["vectorized", "reference"]
 
 #: ``auto`` picks the frontier kernel when the cells that can change are
 #: at most this fraction of the grid; denser instances stay on the dense
@@ -123,6 +124,7 @@ class LabelingResult:
     stats_phase2: Optional[RunStats] = field(default=None, compare=False)
     unwrap_shift: Tuple[int, int] = (0, 0)
     method: str = field(default="dense", compare=False)
+    geometry_backend: str = field(default="vectorized", compare=False)
 
     @property
     def num_unsafe_nonfaulty(self) -> int:
@@ -168,6 +170,7 @@ class LabelingResult:
             "method": self.method,
             "rounds_phase1": self.rounds_phase1,
             "rounds_phase2": self.rounds_phase2,
+            "geometry_backend": self.geometry_backend,
             "num_blocks": len(self.blocks),
             "num_regions": len(self.regions),
             "unsafe_nonfaulty": self.num_unsafe_nonfaulty,
@@ -186,6 +189,7 @@ def label_mesh(
     schedule: Optional[FaultSchedule] = None,
     channel: Optional[ChannelModel] = None,
     telemetry: Optional[Telemetry] = None,
+    geometry_backend: GeometryBackend = "vectorized",
 ) -> LabelingResult:
     """Run the full two-phase pipeline.
 
@@ -228,9 +232,17 @@ def label_mesh(
         Optional :class:`~repro.obs.telemetry.Telemetry`.  The pipeline
         emits ``phase_transition`` events around each phase, wraps the
         phases in ``phase_unsafe`` / ``phase_enable`` profiling spans
-        (tagged with the kernel that ran), and threads phase-labeled
-        children into the frontier kernels and the fabric engines.
-        ``None`` (default) disables all instrumentation.
+        (tagged with the kernel that ran) and the extraction steps in
+        ``extract_blocks`` / ``extract_regions`` spans and events (so
+        ``repro obs summarize`` attributes extraction time per run), and
+        threads phase-labeled children into the frontier kernels and the
+        fabric engines.  ``None`` (default) disables all instrumentation.
+    geometry_backend:
+        Component labeling and extraction implementation:
+        ``"vectorized"`` (default) runs the union-find label pass with
+        bincount reductions, ``"reference"`` the per-cell BFS oracle.
+        Labels, blocks and regions are bit-for-bit identical (property
+        tested); the reference backend exists for cross-checking.
 
     Returns
     -------
@@ -240,6 +252,8 @@ def label_mesh(
         raise ValueError(
             f"fault shape {faults.shape} != topology shape {topology.shape}"
         )
+    if geometry_backend not in ("vectorized", "reference"):
+        raise ValueError(f"unknown geometry backend {geometry_backend!r}")
     dynamic = (schedule is not None and bool(schedule)) or (
         channel is not None and not channel.is_reliable
     )
@@ -347,8 +361,40 @@ def label_mesh(
         faults = FaultSet.from_mask(faulty)
 
     labels = LabelGrid(faulty=faulty, unsafe=unsafe, enabled=enabled)
-    blocks = extract_blocks(unsafe, faulty)
-    regions = extract_regions(labels.disabled, faulty)
+    if events_on:
+        tel.emit("phase_transition", phase="extract_blocks", status="start")
+    span_b = (
+        tel.span("extract_blocks", backend=geometry_backend)
+        if tel is not None
+        else _NULL_SPAN
+    )
+    with span_b:
+        blocks = extract_blocks(unsafe, faulty, backend=geometry_backend)
+    if events_on:
+        tel.emit(
+            "phase_transition",
+            phase="extract_blocks",
+            status="end",
+            count=len(blocks),
+        )
+    if events_on:
+        tel.emit("phase_transition", phase="extract_regions", status="start")
+    span_r = (
+        tel.span("extract_regions", backend=geometry_backend)
+        if tel is not None
+        else _NULL_SPAN
+    )
+    with span_r:
+        regions = extract_regions(
+            labels.disabled, faulty, backend=geometry_backend
+        )
+    if events_on:
+        tel.emit(
+            "phase_transition",
+            phase="extract_regions",
+            status="end",
+            count=len(regions),
+        )
     return LabelingResult(
         topology=topology,
         faults=faults,
@@ -363,6 +409,7 @@ def label_mesh(
         stats_phase2=stats2,
         unwrap_shift=unwrap_shift,
         method=method_used,
+        geometry_backend=geometry_backend,
     )
 
 

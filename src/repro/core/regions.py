@@ -22,7 +22,11 @@ import numpy as np
 
 from repro.errors import GeometryError
 from repro.geometry.cells import CellSet
-from repro.geometry.components import connected_components
+from repro.geometry.components import (
+    _check_backend,
+    _label_coords,
+    connected_components,
+)
 from repro.types import BoolGrid
 
 __all__ = ["DisabledRegion", "extract_regions"]
@@ -52,7 +56,9 @@ class DisabledRegion:
         return self.cells.diameter()
 
 
-def extract_regions(disabled: BoolGrid, faulty: BoolGrid) -> List[DisabledRegion]:
+def extract_regions(
+    disabled: BoolGrid, faulty: BoolGrid, backend: str = "vectorized"
+) -> List[DisabledRegion]:
     """Decompose a disabled mask into disabled regions.
 
     Parameters
@@ -61,6 +67,10 @@ def extract_regions(disabled: BoolGrid, faulty: BoolGrid) -> List[DisabledRegion
         Phase-2 ``unsafe & ~enabled`` mask (must contain every fault).
     faulty:
         Ground-truth fault mask.
+    backend:
+        ``"vectorized"`` (default) — one union-find label pass plus
+        ``bincount`` group splits — or the ``"reference"`` per-component
+        oracle; identical output either way.
 
     Returns
     -------
@@ -73,19 +83,71 @@ def extract_regions(disabled: BoolGrid, faulty: BoolGrid) -> List[DisabledRegion
         all (phase 2 can never strand a fault-free region: its nodes
         would have been enabled; hitting this means corrupt labels).
     """
+    _check_backend(backend)
     if disabled.shape != faulty.shape:
         raise GeometryError(
             f"label shapes disagree: disabled {disabled.shape} vs faulty {faulty.shape}"
         )
-    if np.any(faulty & ~disabled):
-        raise GeometryError("a faulty node is missing from the disabled mask")
-
-    regions: List[DisabledRegion] = []
-    for comp in connected_components(CellSet(disabled), connectivity=8):
-        faults_in = CellSet(comp.mask & faulty)
-        if not faults_in:
+    if backend == "reference":
+        if np.any(faulty & ~disabled):
             raise GeometryError(
-                f"disabled region {comp!r} contains no fault — phase-2 labels corrupt"
+                "a faulty node is missing from the disabled mask"
             )
-        regions.append(DisabledRegion(cells=comp, faults=faults_in))
+        regions: List[DisabledRegion] = []
+        for comp in connected_components(
+            CellSet(disabled), connectivity=8, backend="reference"
+        ):
+            faults_in = CellSet(comp.mask & faulty)
+            if not faults_in:
+                raise GeometryError(
+                    f"disabled region {comp!r} contains no fault — "
+                    "phase-2 labels corrupt"
+                )
+            regions.append(DisabledRegion(cells=comp, faults=faults_in))
+        return regions
+
+    shape = disabled.shape
+    xs, ys = np.nonzero(disabled)
+    fx, fy = np.nonzero(faulty)
+    # Fault containment and fault->region mapping in one binary search.
+    lin = xs * shape[1] + ys
+    flin = fx * shape[1] + fy
+    fpos = np.minimum(np.searchsorted(lin, flin), max(lin.size - 1, 0))
+    if flin.size and (lin.size == 0 or not np.array_equal(lin[fpos], flin)):
+        raise GeometryError("a faulty node is missing from the disabled mask")
+    comp_of, count = _label_coords(xs, ys, shape, connectivity=8)
+    if count == 0:
+        return []
+    sizes = np.bincount(comp_of, minlength=count)
+    fcomp = comp_of[fpos]
+    fcounts = np.bincount(fcomp, minlength=count)
+    empty = np.nonzero(fcounts == 0)[0]
+    if empty.size:
+        culprit_mask = np.zeros(shape, dtype=bool)
+        members = comp_of == empty[0]
+        culprit_mask[xs[members], ys[members]] = True
+        raise GeometryError(
+            f"disabled region {CellSet(culprit_mask)!r} contains no fault — "
+            "phase-2 labels corrupt"
+        )
+    order = np.argsort(comp_of, kind="stable")
+    xs, ys = xs[order], ys[order]
+    bounds = np.concatenate(([0], np.cumsum(sizes)))
+    forder = np.argsort(fcomp, kind="stable")
+    fx, fy = fx[forder], fy[forder]
+    fbounds = np.concatenate(([0], np.cumsum(fcounts)))
+    regions = []
+    for k in range(count):
+        cells_mask = np.zeros(shape, dtype=bool)
+        members = slice(bounds[k], bounds[k + 1])
+        cells_mask[xs[members], ys[members]] = True
+        faults_mask = np.zeros(shape, dtype=bool)
+        fmembers = slice(fbounds[k], fbounds[k + 1])
+        faults_mask[fx[fmembers], fy[fmembers]] = True
+        regions.append(
+            DisabledRegion(
+                cells=CellSet._from_owned(cells_mask, int(sizes[k])),
+                faults=CellSet._from_owned(faults_mask, int(fcounts[k])),
+            )
+        )
     return regions

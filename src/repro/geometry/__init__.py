@@ -10,8 +10,10 @@ and the canonical L/T/+/U/H fault shapes.
 from repro.geometry.boundary import boundary_loops, corner_cells, perimeter
 from repro.geometry.cells import CellSet
 from repro.geometry.components import (
+    GEOMETRY_BACKENDS,
     connected_components,
     is_connected,
+    label_components,
     set_distance,
 )
 from repro.geometry.orthoconvex import (
@@ -33,6 +35,7 @@ from repro.geometry import shapes
 
 __all__ = [
     "CellSet",
+    "GEOMETRY_BACKENDS",
     "Rect",
     "boundary_loops",
     "bounding_rect",
@@ -45,6 +48,7 @@ __all__ = [
     "is_monotone_path",
     "is_orthoconvex",
     "is_rectangle",
+    "label_components",
     "monotone_path_within",
     "orthoconvex_closure",
     "perimeter",

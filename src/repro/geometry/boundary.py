@@ -130,10 +130,25 @@ def _merge_collinear(loop: List[Coord]) -> List[Coord]:
 
 
 def perimeter(cells: CellSet) -> int:
-    """Total boundary length (number of unit boundary edges)."""
+    """Total boundary length (number of unit boundary edges).
+
+    Counted as occupancy transitions along each axis plus the grid-edge
+    sides — a whole-grid reduction, no per-cell edge walk.
+    """
     if not cells:
         return 0
-    return sum(len(ends) for ends in _directed_edges(cells.mask).values())
+    mask = cells.mask
+    vertical = (
+        int(np.count_nonzero(mask[1:, :] != mask[:-1, :]))
+        + int(np.count_nonzero(mask[0, :]))
+        + int(np.count_nonzero(mask[-1, :]))
+    )
+    horizontal = (
+        int(np.count_nonzero(mask[:, 1:] != mask[:, :-1]))
+        + int(np.count_nonzero(mask[:, 0]))
+        + int(np.count_nonzero(mask[:, -1]))
+    )
+    return vertical + horizontal
 
 
 def corner_cells(cells: CellSet) -> CellSet:

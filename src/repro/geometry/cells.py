@@ -47,6 +47,23 @@ class CellSet:
         return cls(np.ones(shape, dtype=bool))
 
     @classmethod
+    def _from_owned(cls, mask: BoolGrid, count: int | None = None) -> "CellSet":
+        """Zero-copy internal constructor: takes ownership of ``mask``.
+
+        ``mask`` must be a freshly allocated 2-D C-order boolean array
+        that no caller will mutate afterwards; ``count`` (if given) must
+        equal ``mask.sum()``.  Used by the vectorized geometry backend,
+        where the public copying constructor would double the cost of
+        component extraction.
+        """
+        mask.setflags(write=False)
+        obj = cls.__new__(cls)
+        obj._mask = mask
+        obj._count = int(mask.sum()) if count is None else count
+        obj._hash = None
+        return obj
+
+    @classmethod
     def from_coords(cls, shape: Tuple[int, int], coords: Iterable[Coord]) -> "CellSet":
         """A set containing exactly the given ``(x, y)`` cells.
 

@@ -10,16 +10,27 @@ Two connectivities matter in the paper:
   single corner point as part of one region (its Section 3 example puts
   faults ``(2,1)`` and ``(3,2)`` into one disabled region).
 
-Component labelling is a breadth-first flood fill over the member cells
-only, so its cost scales with the number of *occupied* cells — fault
-regions are sparse, and this is never a hot path (the hot paths are the
-vectorized label fixpoints in :mod:`repro.core`).
+Two interchangeable labeling backends are provided:
+
+* ``"vectorized"`` (default) — a NumPy two-pass union-find: cells are
+  first grouped into vertical runs with one cumulative-sum pass, run
+  adjacencies are extracted with whole-array shifts, and the run graph
+  is collapsed by vectorized pointer jumping.  No per-cell Python work;
+  this is what makes block/region extraction cheap enough for the
+  per-trial hot path of large sweeps.
+
+* ``"reference"`` — the original per-cell breadth-first flood fill,
+  kept as the oracle the property tests pin the vectorized backend
+  against bit-for-bit.
+
+Both return components ordered by their smallest row-major member, so
+results are deterministic and backend-independent.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
@@ -29,8 +40,10 @@ from repro.types import BoolGrid
 __all__ = [
     "connected_components",
     "is_connected",
+    "label_components",
     "Connectivity4",
     "Connectivity8",
+    "GEOMETRY_BACKENDS",
 ]
 
 #: Neighbour offsets for mesh-link (edge) adjacency.
@@ -42,8 +55,134 @@ Connectivity8 = (
     (1, 1), (1, -1), (-1, 1), (-1, -1),
 )
 
+#: The interchangeable geometry backends (see module docstring).
+GEOMETRY_BACKENDS = ("vectorized", "reference")
 
-def connected_components(cells: CellSet, connectivity: int = 4) -> List[CellSet]:
+
+def _check_backend(backend: str) -> None:
+    if backend not in GEOMETRY_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {GEOMETRY_BACKENDS}, got {backend!r}"
+        )
+
+
+def _check_connectivity(connectivity: int) -> None:
+    if connectivity not in (4, 8):
+        raise ValueError(f"connectivity must be 4 or 8, got {connectivity}")
+
+
+def _label_coords(
+    xs: np.ndarray, ys: np.ndarray, shape: Tuple[int, int], connectivity: int
+) -> Tuple[np.ndarray, int]:
+    """Union-find labeling in coordinate space.
+
+    ``xs``/``ys`` must be the row-major member scan of a mask (exactly
+    what ``np.nonzero`` returns).  Working on coordinates instead of the
+    grid keeps every pass proportional to the member count, not the grid
+    area — neighbour lookups are binary searches into the sorted linear
+    index, so no run grid is ever materialised.
+
+    Returns ``(comp_of, count)`` where ``comp_of[i]`` is the component
+    index of member ``i``; components are numbered ``0..count-1`` by
+    their smallest row-major member.
+    """
+    n = xs.size
+    if n == 0:
+        return np.empty(0, dtype=np.int32), 0
+
+    # Pass 1: vertical runs.  Members are sorted by x then y; a new run
+    # starts at each column change or y gap.
+    new_run = np.empty(n, dtype=bool)
+    new_run[0] = True
+    np.logical_or(xs[1:] != xs[:-1], ys[1:] != ys[:-1] + 1, out=new_run[1:])
+    run_id = np.cumsum(new_run, dtype=np.int32) - 1
+    nruns = int(run_id[-1]) + 1
+
+    # Pass 2: union runs joined by a west-side adjacency.  Same-column
+    # adjacencies are inside runs already; (dx=-1) offsets cover every
+    # remaining pair once.  A west neighbour's linear index is strictly
+    # smaller than the member's own, so searchsorted never returns n.
+    h = shape[1]
+    lin = xs.astype(np.int64) * h + ys
+    offsets = ((-1, 0),) if connectivity == 4 else ((-1, 0), (-1, -1), (-1, 1))
+    edges_a: List[np.ndarray] = []
+    edges_b: List[np.ndarray] = []
+    for _dx, dy in offsets:
+        ok = xs > 0
+        if dy == -1:
+            ok = ok & (ys > 0)
+        elif dy == 1:
+            ok = ok & (ys < h - 1)
+        target = lin[ok] - h + dy
+        pos = np.searchsorted(lin, target)
+        present = lin[pos] == target
+        if present.any():
+            edges_a.append(run_id[ok][present])
+            edges_b.append(run_id[pos[present]])
+
+    parent = np.arange(nruns, dtype=np.int32)
+    if edges_a:
+        a = np.concatenate(edges_a)
+        b = np.concatenate(edges_b)
+        while True:
+            old = parent.copy()
+            # Each edge pulls both endpoints to the smaller current root.
+            m = np.minimum(parent[a], parent[b])
+            np.minimum.at(parent, a, m)
+            np.minimum.at(parent, b, m)
+            # Pointer jumping: halve tree heights until flat.
+            compressed = parent[parent]
+            while not np.array_equal(compressed, parent):
+                parent = compressed
+                compressed = parent[parent]
+            if np.array_equal(old, parent):
+                break
+
+    # A component's root is its minimal run id, and run ids increase in
+    # scan order — so sorting the distinct roots ascending numbers the
+    # components by first (smallest row-major) member.
+    roots = parent[run_id]
+    distinct, comp_of = np.unique(roots, return_inverse=True)
+    return comp_of.astype(np.int32, copy=False), int(distinct.size)
+
+
+def label_components(mask: BoolGrid, connectivity: int = 4) -> Tuple[np.ndarray, int]:
+    """Label the connected components of a boolean grid, vectorized.
+
+    Two-pass union-find over *runs*: member cells are grouped into
+    maximal vertical runs (consecutive ``y`` at constant ``x``) with a
+    single cumulative-sum pass over the row-major member scan; run
+    adjacencies across neighbouring columns are binary searches into the
+    sorted member index; and the run adjacency graph is collapsed to
+    per-run minima by vectorized pointer jumping
+    (``parent = parent[parent]``), which converges geometrically.
+
+    Parameters
+    ----------
+    mask:
+        The boolean occupancy grid, indexed ``[x, y]``.
+    connectivity:
+        4 for mesh-link adjacency or 8 for king-move adjacency.
+
+    Returns
+    -------
+    (labels, count)
+        ``labels`` is an ``int32`` grid of the mask's shape holding
+        ``-1`` for non-members and the component index for members;
+        components are numbered ``0..count-1`` by their smallest
+        row-major member, matching the ``"reference"`` backend's order.
+    """
+    _check_connectivity(connectivity)
+    labels = np.full(mask.shape, -1, dtype=np.int32)
+    xs, ys = np.nonzero(mask)
+    comp_of, count = _label_coords(xs, ys, mask.shape, connectivity)
+    labels[xs, ys] = comp_of
+    return labels, count
+
+
+def connected_components(
+    cells: CellSet, connectivity: int = 4, backend: str = "vectorized"
+) -> List[CellSet]:
     """Split ``cells`` into maximal connected components.
 
     Parameters
@@ -53,6 +192,10 @@ def connected_components(cells: CellSet, connectivity: int = 4) -> List[CellSet]
     connectivity:
         4 for mesh-link adjacency (faulty blocks) or 8 for king-move
         adjacency (disabled regions).
+    backend:
+        ``"vectorized"`` (default) for the union-find label pass or
+        ``"reference"`` for the per-cell BFS oracle; both produce the
+        identical component list.
 
     Returns
     -------
@@ -60,8 +203,34 @@ def connected_components(cells: CellSet, connectivity: int = 4) -> List[CellSet]
         Components ordered by their smallest row-major member, so the
         result is deterministic.
     """
-    if connectivity not in (4, 8):
-        raise ValueError(f"connectivity must be 4 or 8, got {connectivity}")
+    _check_backend(backend)
+    if backend == "reference":
+        return _connected_components_reference(cells, connectivity)
+    _check_connectivity(connectivity)
+    xs, ys = np.nonzero(cells.mask)
+    comp, count = _label_coords(xs, ys, cells.shape, connectivity)
+    if count == 0:
+        return []
+    sizes = np.bincount(comp, minlength=count)
+    # Stable sort groups member cells by component while preserving the
+    # row-major order inside each group.
+    order = np.argsort(comp, kind="stable")
+    xs_g, ys_g = xs[order], ys[order]
+    bounds = np.concatenate(([0], np.cumsum(sizes)))
+    components: List[CellSet] = []
+    for k in range(count):
+        comp_mask = np.zeros(cells.shape, dtype=bool)
+        sl = slice(bounds[k], bounds[k + 1])
+        comp_mask[xs_g[sl], ys_g[sl]] = True
+        components.append(CellSet._from_owned(comp_mask, int(sizes[k])))
+    return components
+
+
+def _connected_components_reference(
+    cells: CellSet, connectivity: int = 4
+) -> List[CellSet]:
+    """The per-cell BFS flood fill — the oracle backend."""
+    _check_connectivity(connectivity)
     offsets = Connectivity4 if connectivity == 4 else Connectivity8
 
     mask = cells.mask
@@ -89,11 +258,18 @@ def connected_components(cells: CellSet, connectivity: int = 4) -> List[CellSet]
     return components
 
 
-def is_connected(cells: CellSet, connectivity: int = 4) -> bool:
+def is_connected(
+    cells: CellSet, connectivity: int = 4, backend: str = "vectorized"
+) -> bool:
     """Whether ``cells`` is non-empty and forms a single component."""
+    _check_backend(backend)
     if not cells:
         return False
-    return len(connected_components(cells, connectivity)) == 1
+    if backend == "reference":
+        return len(_connected_components_reference(cells, connectivity)) == 1
+    _check_connectivity(connectivity)
+    xs, ys = np.nonzero(cells.mask)
+    return _label_coords(xs, ys, cells.shape, connectivity)[1] == 1
 
 
 def dilate(mask: BoolGrid, connectivity: int = 4) -> BoolGrid:

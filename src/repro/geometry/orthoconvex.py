@@ -68,7 +68,9 @@ def fill_spans(mask: BoolGrid, axis: int) -> BoolGrid:
     return _span_mask(mask, axis)
 
 
-def is_orthoconvex(cells: CellSet, require_connected: bool = True) -> bool:
+def is_orthoconvex(
+    cells: CellSet, require_connected: bool = True, backend: str = "vectorized"
+) -> bool:
     """Whether a cell set is an orthogonal convex region.
 
     Parameters
@@ -79,6 +81,10 @@ def is_orthoconvex(cells: CellSet, require_connected: bool = True) -> bool:
         Also require 8-connectivity (a single polygon, corner contacts
         allowed), which is part of what Theorem 1 asserts for disabled
         regions.  Set to False to test span-contiguity alone.
+    backend:
+        Geometry backend for the connectivity half of the test
+        (``"vectorized"`` union-find or the ``"reference"`` BFS oracle);
+        the span-contiguity half is whole-grid either way.
     """
     if not cells:
         return False
@@ -87,7 +93,7 @@ def is_orthoconvex(cells: CellSet, require_connected: bool = True) -> bool:
         return False
     if np.any(_span_mask(mask, 1) & ~mask):
         return False
-    if require_connected and not is_connected(cells, connectivity=8):
+    if require_connected and not is_connected(cells, connectivity=8, backend=backend):
         return False
     return True
 
@@ -136,27 +142,41 @@ def row_runs(cells: CellSet) -> List[Tuple[int, int, int]]:
     GeometryError
         If some occupied row is not a single contiguous run.
     """
-    mask = cells.mask
-    runs: List[Tuple[int, int, int]] = []
-    any_in_row = mask.any(axis=0)
-    for y in np.nonzero(any_in_row)[0].tolist():
-        xs = np.nonzero(mask[:, y])[0]
-        x0, x1 = int(xs[0]), int(xs[-1])
-        if len(xs) != x1 - x0 + 1:
-            raise GeometryError(f"row y={y} is not a contiguous run")
-        runs.append((y, x0, x1))
-    return runs
+    first, last, counts, lines = _line_extents(cells.mask, axis=0)
+    bad = lines[(counts[lines] != last[lines] - first[lines] + 1)]
+    if bad.size:
+        raise GeometryError(f"row y={int(bad[0])} is not a contiguous run")
+    return [
+        (y, int(first[y]), int(last[y])) for y in lines.tolist()
+    ]
 
 
 def column_runs(cells: CellSet) -> List[Tuple[int, int, int]]:
     """Per-column analogue of :func:`row_runs`: ``(x, y_min, y_max)`` triples."""
-    mask = cells.mask
-    runs: List[Tuple[int, int, int]] = []
-    any_in_col = mask.any(axis=1)
-    for x in np.nonzero(any_in_col)[0].tolist():
-        ys = np.nonzero(mask[x, :])[0]
-        y0, y1 = int(ys[0]), int(ys[-1])
-        if len(ys) != y1 - y0 + 1:
-            raise GeometryError(f"column x={x} is not a contiguous run")
-        runs.append((x, y0, y1))
-    return runs
+    first, last, counts, lines = _line_extents(cells.mask, axis=1)
+    bad = lines[(counts[lines] != last[lines] - first[lines] + 1)]
+    if bad.size:
+        raise GeometryError(f"column x={int(bad[0])} is not a contiguous run")
+    return [
+        (x, int(first[x]), int(last[x])) for x in lines.tolist()
+    ]
+
+
+def _line_extents(mask: BoolGrid, axis: int):
+    """Whole-grid run-length summary of every grid line.
+
+    For ``axis=0`` lines are rows of constant ``y`` (extents along x);
+    for ``axis=1`` columns of constant ``x`` (extents along y).  Returns
+    ``(first, last, counts, occupied)`` index arrays — one entry per
+    line, with ``occupied`` listing the lines holding any member.  A
+    line is a single contiguous run iff ``count == last - first + 1``,
+    which is how the callers check contiguity without per-line loops.
+    """
+    along = 0 if axis == 0 else 1           # reduction axis
+    length = mask.shape[along]
+    counts = mask.sum(axis=along)
+    first = np.argmax(mask, axis=along)
+    flipped = np.flip(mask, axis=along)
+    last = length - 1 - np.argmax(flipped, axis=along)
+    occupied = np.nonzero(counts > 0)[0]
+    return first, last, counts, occupied

@@ -69,6 +69,7 @@ EVENT_SCHEMAS: Dict[str, FrozenSet[str]] = {
     # pipeline
     "phase_transition": frozenset({"phase", "status"}),
     # sweeps
+    "sweep_plan": frozenset({"jobs", "parallel", "chunk"}),
     "sweep_cell": frozenset({"value", "trial", "ok"}),
     # full-state snapshots routed to RoundTrace sinks
     "snapshot": frozenset({"key"}),

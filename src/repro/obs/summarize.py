@@ -79,6 +79,12 @@ class TraceSummary:
     events_total: int
     by_name: Dict[str, int]
     runs: List[RunReport]
+    #: Wall-clock seconds per pipeline phase, rebuilt from paired
+    #: ``phase_transition`` start/end timestamps — this is what
+    #: attributes kernel vs ``extract_blocks`` / ``extract_regions``
+    #: time for a traced run.  Empty when the trace holds no pipeline
+    #: events.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     def run(self, **labels: Any) -> RunReport:
         """The unique run whose labels include ``labels``.
@@ -100,6 +106,8 @@ def summarize_trace(path: str) -> TraceSummary:
     """Read, validate, and summarize an event-log JSONL file."""
     tally: TallyCounter = TallyCounter()
     reports: Dict[Tuple[Tuple[str, str], ...], RunReport] = {}
+    phase_started: Dict[str, float] = {}
+    phase_seconds: Dict[str, float] = {}
     total = 0
     for lineno, record in _iter_jsonl(path):
         try:
@@ -109,6 +117,15 @@ def summarize_trace(path: str) -> TraceSummary:
         total += 1
         name = record["name"]
         tally[name] += 1
+        if name == "phase_transition":
+            fields = record["fields"]
+            phase = str(fields["phase"])
+            if fields["status"] == "start":
+                phase_started[phase] = float(record["t"])
+            elif phase in phase_started:
+                elapsed = float(record["t"]) - phase_started.pop(phase)
+                phase_seconds[phase] = phase_seconds.get(phase, 0.0) + elapsed
+            continue
         if name not in ("epoch_end", "run_end"):
             continue
         fields = record["fields"]
@@ -143,7 +160,11 @@ def summarize_trace(path: str) -> TraceSummary:
         _check_consistency(path, report)
     runs = [reports[k] for k in sorted(reports)]
     return TraceSummary(
-        path=path, events_total=total, by_name=dict(tally), runs=runs
+        path=path,
+        events_total=total,
+        by_name=dict(tally),
+        runs=runs,
+        phase_seconds=phase_seconds,
     )
 
 
@@ -179,6 +200,13 @@ def format_summary(summary: TraceSummary) -> str:
     ]
     for name in sorted(summary.by_name):
         lines.append(f"  {name:>18}: {summary.by_name[name]}")
+    if summary.phase_seconds:
+        lines.append("")
+        lines.append("phase timings:")
+        for phase in sorted(summary.phase_seconds):
+            lines.append(
+                f"  {phase:>18}: {1e3 * summary.phase_seconds[phase]:.2f} ms"
+            )
     for report in summary.runs:
         lines.append("")
         header = f"run [{report.label()}]"

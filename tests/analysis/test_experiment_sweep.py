@@ -154,8 +154,12 @@ class TestSweepFailures:
     def test_broken_pool_retried_and_reported(self):
         # One poison cell kills its worker; the sweep must resume on a
         # fresh pool, chalk the dead cell up as a failure, and finish
-        # the healthy values normally.
-        points = sweep([1, 13, 3], _poison_metric, trials=1, seed=0, jobs=2)
+        # the healthy values normally.  chunk_size forces worker
+        # isolation (the amortization estimate would run a sweep this
+        # small in-parent, where os._exit would kill the test).
+        points = sweep(
+            [1, 13, 3], _poison_metric, trials=1, seed=0, jobs=2, chunk_size=1
+        )
         assert [p.value for p in points] == [1, 13, 3]
         assert points[1].metrics == {}
         assert len(points[1].failures) == 1

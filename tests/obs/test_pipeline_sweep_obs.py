@@ -28,11 +28,17 @@ class TestPipelineTelemetry:
             ("unsafe", "end"),
             ("enable", "start"),
             ("enable", "end"),
+            ("extract_blocks", "start"),
+            ("extract_blocks", "end"),
+            ("extract_regions", "start"),
+            ("extract_regions", "end"),
         ]
-        ends = {e.fields["phase"]: e.fields["rounds"] for e in events
+        ends = {e.fields["phase"]: e.fields for e in events
                 if e.fields["status"] == "end"}
-        assert ends["unsafe"] == result.rounds_phase1
-        assert ends["enable"] == result.rounds_phase2
+        assert ends["unsafe"]["rounds"] == result.rounds_phase1
+        assert ends["enable"]["rounds"] == result.rounds_phase2
+        assert ends["extract_blocks"]["count"] == len(result.blocks)
+        assert ends["extract_regions"]["count"] == len(result.regions)
 
     def test_phase_spans_recorded(self):
         rec = SpanRecorder()
