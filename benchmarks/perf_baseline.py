@@ -17,6 +17,10 @@ Times the hot paths this repository optimises —
 * the telemetry guard overhead: the same pipeline with telemetry off
   (``telemetry=None``) vs a null-sink telemetry exercising every emit
   site — the off path must stay within the 2% acceptance budget,
+* the incremental relabeling service: a stream of single-fault
+  inject/repair deltas absorbed online vs relabeling from scratch after
+  every event (per-update latency, updates/sec throughput, and the
+  speedup the ``incremental`` CI job gates on),
 
 verifies that every fast path reproduces the reference results exactly,
 and writes ``BENCH_perf.json`` at the repository root so successive PRs
@@ -330,6 +334,79 @@ def bench_telemetry(size: int, f: int, repeats: int) -> dict:
     }
 
 
+def bench_incremental(size: int, f: int, updates: int, repeats: int) -> dict:
+    """Online fault deltas through the service vs from-scratch labeling.
+
+    A warm :class:`~repro.service.LabelingService` on an f-fault mesh
+    absorbs a stream of single-fault updates (alternating inject and
+    repair of the same cells, so every repeat starts from the same
+    state).  The baseline is one full ``label_mesh`` of the standing
+    fault set — what answering a single delta used to cost.  The stream
+    leaves the fault set where it started, and the final planes are
+    verified bit-for-bit against the from-scratch fixpoint.
+    """
+    from repro.service import LabelingService
+
+    topo = Mesh2D(size, size)
+    rng = np.random.default_rng(20010423)
+    faults = uniform_random(topo.shape, f, rng)
+    service = LabelingService(topo, faults=faults)
+
+    # Pre-draw the update stream: distinct initially-nonfaulty cells,
+    # each injected and then repaired (updates = 2 * cells events).
+    free = np.flatnonzero(~faults.mask)
+    cells = rng.choice(free, size=updates // 2, replace=False)
+    stream = []
+    for flat in cells:
+        c = (int(flat) // size, int(flat) % size)
+        stream.append(("inject", c))
+        stream.append(("repair", c))
+
+    t_scratch, scratch = _best_of(lambda: label_mesh(topo, faults), repeats)
+
+    def run_stream():
+        update = service.update
+        for op, c in stream:
+            if op == "inject":
+                update(inject=(c,))
+            else:
+                update(repair=(c,))
+
+    t_stream, _ = _best_of(run_stream, repeats)
+    assert service.verify_against_scratch(), (
+        "incremental service diverged from the from-scratch fixpoint"
+    )
+    assert np.array_equal(
+        service.engine.labels.unsafe, scratch.labels.unsafe
+    ) and np.array_equal(service.engine.labels.enabled, scratch.labels.enabled), (
+        "service stream did not return to the baseline state"
+    )
+
+    n = len(stream)
+    per_update = t_stream / n
+    entry = _pair(
+        "relabel scratch vs delta",
+        t_scratch,
+        per_update,
+        extra={
+            "updates": n,
+            "updates_per_sec": round(n / t_stream, 1),
+            "stream_s": round(t_stream, 6),
+        },
+    )
+    print(
+        f"{'service throughput':>28}: {entry['updates_per_sec']:,.0f} updates/sec"
+    )
+    stats = service.stats()
+    return {
+        "mesh": f"{size}x{size}",
+        "faults": f,
+        "fault_model": "uniform",
+        "service": entry,
+        "cache": stats["cache"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -349,6 +426,7 @@ def main(argv=None) -> int:
         kernel_size, kernel_f, repeats = 300, 80, 2
         fabric_size, fabric_f = 20, 24
         sweep_size, sweep_fs, sweep_trials, sweep_repeats = 96, [0, 16, 32], 6, 3
+        incr_size, incr_f, incr_updates = 256, 40, 2000
     else:
         kernel_size, kernel_f, repeats = 500, 100, 3
         fabric_size, fabric_f = 32, 48
@@ -358,6 +436,7 @@ def main(argv=None) -> int:
             10,
             5,
         )
+        incr_size, incr_f, incr_updates = 1000, 100, 20000
 
     report = {
         "schema": 1,
@@ -373,6 +452,7 @@ def main(argv=None) -> int:
             sweep_size, sweep_fs, sweep_trials, args.jobs, sweep_repeats
         ),
         "telemetry": bench_telemetry(kernel_size, kernel_f, repeats),
+        "incremental": bench_incremental(incr_size, incr_f, incr_updates, repeats),
     }
 
     out = pathlib.Path(args.out)

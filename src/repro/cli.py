@@ -8,7 +8,9 @@ Exposes the library's main workflows without writing any Python:
 * ``route``     — compare routing under the block and region models;
 * ``density``   — the fault-density / percolation study;
 * ``partition`` — run the open-problem cover heuristics on random faults;
-* ``obs``       — validate and summarize telemetry artefacts.
+* ``obs``       — validate and summarize telemetry artefacts;
+* ``serve``     — run the incremental relabeling service behind an
+  NDJSON socket (TCP or Unix-domain), answering fault deltas online.
 
 ``label`` can record telemetry: ``--trace-out`` writes the structured
 event log (JSONL), ``--metrics-out`` the metrics-registry snapshot,
@@ -194,6 +196,68 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_part = sub.add_parser("partition", help="open-problem cover heuristics")
     common(p_part)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the incremental relabeling service"
+    )
+    p_serve.add_argument("--size", type=int, default=64, help="mesh side length")
+    p_serve.add_argument(
+        "--faults", type=int, default=0, help="initial number of faults"
+    )
+    p_serve.add_argument("--seed", type=int, default=0, help="RNG seed")
+    p_serve.add_argument(
+        "--definition", choices=["2a", "2b"], default="2b",
+        help="phase-1 unsafe rule",
+    )
+    p_serve.add_argument(
+        "--torus", action="store_true", help="use a torus instead of a mesh"
+    )
+    p_serve.add_argument(
+        "--clustered",
+        action="store_true",
+        help="clustered initial faults instead of uniform random",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind host"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP bind port (0 picks an ephemeral port, printed on start)",
+    )
+    p_serve.add_argument(
+        "--unix",
+        metavar="PATH",
+        help="serve on a Unix-domain socket instead of TCP",
+    )
+    p_serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        help="stop after this many responses (for smoke tests)",
+    )
+    p_serve.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write the structured event log as JSONL",
+    )
+    p_serve.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write the metrics-registry snapshot as JSON",
+    )
+    p_serve.add_argument(
+        "--spans-out",
+        metavar="FILE",
+        help="write the profiling spans as Chrome trace-event JSON",
+    )
+    p_serve.add_argument(
+        "--log-level",
+        choices=["debug", "info"],
+        default="info",
+        help="event severity kept in --trace-out",
+    )
 
     p_obs = sub.add_parser("obs", help="telemetry artefact tools")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
@@ -511,6 +575,51 @@ def _cmd_partition(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import os
+
+    from repro.service import LabelingServer, LabelingService
+
+    topo = _topology(args)
+    faults = _faults(args, topo.shape) if args.faults else None
+    telemetry, finish_telemetry = _telemetry_from_args(args)
+    service = LabelingService(
+        topo, _definition(args), faults=faults, telemetry=telemetry
+    )
+    if args.unix and os.path.exists(args.unix):
+        os.unlink(args.unix)
+    server = LabelingServer(
+        service,
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        telemetry=telemetry,
+        max_requests=args.max_requests,
+    )
+    kind = "torus" if topo.wraps else "mesh"
+    print(
+        f"serving {args.size}x{args.size} {kind} "
+        f"(definition {args.definition}, {service.engine.num_faults} faults)"
+    )
+    if args.unix:
+        print(f"listening on unix:{server.address}", flush=True)
+    else:
+        host, port = server.address
+        print(f"listening on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.close()
+        if args.unix and os.path.exists(args.unix):
+            os.unlink(args.unix)
+        if finish_telemetry is not None:
+            finish_telemetry()
+    print(f"served {server.requests_served} requests")
+    return 0
+
+
 def _cmd_obs(args) -> int:
     from repro.errors import ObservabilityError
 
@@ -553,6 +662,7 @@ _COMMANDS = {
     "density": _cmd_density,
     "partition": _cmd_partition,
     "obs": _cmd_obs,
+    "serve": _cmd_serve,
 }
 
 

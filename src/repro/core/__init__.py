@@ -22,8 +22,13 @@ from repro.core.enabling import (
     recursive_enable_fixpoints,
 )
 from repro.core.frontier import enabled_fixpoint_sparse, unsafe_fixpoint_sparse
+from repro.core.incremental import (
+    BlockEnableCache,
+    DeltaReport,
+    IncrementalLabeling,
+)
 from repro.core.maintenance import MaintainedLabeling, UpdateReport
-from repro.core.pipeline import LabelingResult, label_mesh
+from repro.core.pipeline import LabelingResult, assemble_result, label_mesh
 from repro.core.protocols import EnableProgram, SafetyProgram
 from repro.core.regions import DisabledRegion, extract_regions
 from repro.core.safety import unsafe_fixpoint, unsafe_step
@@ -31,9 +36,12 @@ from repro.core.status import LabelGrid, NodeStatus, SafetyDefinition
 from repro.core import theorems
 
 __all__ = [
+    "BlockEnableCache",
+    "DeltaReport",
     "DisabledRegion",
     "EnableProgram",
     "FaultyBlock",
+    "IncrementalLabeling",
     "LabelGrid",
     "LabelingResult",
     "MaintainedLabeling",
@@ -41,6 +49,7 @@ __all__ = [
     "SafetyDefinition",
     "SafetyProgram",
     "UpdateReport",
+    "assemble_result",
     "async_enabled",
     "async_unsafe",
     "distributed_enabled",

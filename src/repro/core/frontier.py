@@ -92,6 +92,8 @@ def unsafe_fixpoint_sparse(
     definition: SafetyDefinition = SafetyDefinition.DEF_2B,
     max_rounds: int | None = None,
     telemetry: Optional[Telemetry] = None,
+    initial: Optional[BoolGrid] = None,
+    seeds: Optional[np.ndarray] = None,
 ) -> Tuple[BoolGrid, int]:
     """Phase-1 fixpoint by frontier propagation.
 
@@ -102,6 +104,18 @@ def unsafe_fixpoint_sparse(
     observes each round's frontier size into the
     ``frontier_active_cells`` histogram — the direct measure of the
     sparse kernels' work.
+
+    Warm starts: ``initial``, when given, is a valid under-approximation
+    of the fixpoint (any state reachable by the monotone rule from a
+    subset of ``faulty`` qualifies — e.g. the converged labels of a
+    smaller fault set).  The iteration resumes from ``initial | faulty``
+    instead of ``faulty``.  ``seeds`` restricts the first frontier to
+    the neighbourhoods of the given flat cell indices; it must cover
+    every cell whose unsafe status was asserted since ``initial``
+    converged (new faults plus any re-marked cells), which is what makes
+    the warm start reach the exact full fixpoint while touching only the
+    changed area.  ``seeds=None`` seeds from every unsafe cell (always
+    correct, linear in the unsafe population).
     """
     if faulty.shape != topology.shape:
         raise ConvergenceError(
@@ -110,7 +124,14 @@ def unsafe_fixpoint_sparse(
     budget = max_rounds if max_rounds is not None else (topology.num_nodes + 2)
     width, height = topology.shape
     wraps = topology.wraps
-    grid = np.ascontiguousarray(faulty, dtype=bool).copy()
+    if initial is None:
+        grid = np.ascontiguousarray(faulty, dtype=bool).copy()
+    else:
+        if initial.shape != topology.shape:
+            raise ConvergenceError(
+                f"warm-start shape {initial.shape} != topology shape {topology.shape}"
+            )
+        grid = np.ascontiguousarray(initial, dtype=bool) | faulty
     unsafe = grid.ravel()  # writable view of the 2-D result
 
     def still_safe_neighbors(flipped: np.ndarray) -> np.ndarray:
@@ -118,8 +139,11 @@ def unsafe_fixpoint_sparse(
         cand = np.unique(nbrs[valid])
         return cand[~unsafe[cand]]
 
-    seeds = np.flatnonzero(unsafe)
-    frontier = still_safe_neighbors(seeds) if seeds.size else seeds
+    if seeds is None:
+        seed_idx = np.flatnonzero(unsafe)
+    else:
+        seed_idx = np.asarray(seeds, dtype=np.intp)
+    frontier = still_safe_neighbors(seed_idx) if seed_idx.size else seed_idx
     rounds = 0
     meter = _frontier_meter(telemetry)
     while frontier.size:

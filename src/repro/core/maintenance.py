@@ -1,53 +1,63 @@
-"""Dynamic maintenance: relabeling as new faults appear.
+"""Dynamic maintenance: relabeling as faults appear and heal.
 
 The paper's Section 1 notes that faulty blocks "can be easily
 established **and maintained** through message exchanges among
-neighboring nodes".  This module implements that maintenance story: a
-:class:`MaintainedLabeling` holds the current labels and absorbs new
-faults incrementally.
+neighboring nodes".  :class:`MaintainedLabeling` is that maintenance
+story's historical front door: it holds the current labels and absorbs
+fault deltas incrementally, with a per-update :class:`UpdateReport`
+history.  Since the incremental engine landed it is a thin wrapper over
+:class:`~repro.core.incremental.IncrementalLabeling`, which supplies:
 
-* **Phase 1 is warm-startable.** The unsafe rule is monotone in the
-  fault set, so the old unsafe labels remain a valid under-approximation
-  after new faults appear; iterating the rule from ``old_unsafe ∪
-  new_faults`` reaches exactly the from-scratch fixpoint, usually in
-  far fewer rounds (only the neighbourhood of the new faults is still
-  moving).  On a real machine this is precisely what happens: nodes
-  keep their labels and the change ripples outward from the new fault.
+* **Warm-started phase 1** — the unsafe rule is monotone in the fault
+  set, so the old labels are a valid under-approximation after an
+  injection and only the changed neighbourhood is re-propagated.
 
-* **Phase 2 must re-run.** Enabled status is *anti*-monotone in the
-  fault set (a new fault can disable previously activated nodes), so
-  disabled regions are recomputed from the fresh phase-1 labels — also
-  matching the machine, where the enable protocol restarts inside any
-  block whose membership changed.
+* **Localized phase 2** — enabled status is *anti*-monotone in the
+  fault set, so it cannot be warm-started globally; but faulty blocks
+  are mutually independent for the enable rule (their exteriors are
+  always enabled), so only the blocks whose membership or fault set
+  changed are re-solved — the rest of the mesh is never touched, and
+  repeated block shapes are served from a
+  :class:`~repro.core.incremental.BlockEnableCache`.
+  ``UpdateReport.rounds_phase2`` counts the localized work actually
+  done (the maximum rounds any re-solved block needed; zero when every
+  block came from the cache), not a from-scratch global recompute.
 
-Faults never heal in this model, mirroring the paper's fail-stop
-assumption; recovering nodes would require a reset of both phases.
+* **Repair** — the bounded un-label wave: the block that lost a fault
+  is cleared, its surviving faults re-asserted, and the forward rule
+  re-run on that frontier only.  See :meth:`MaintainedLabeling.repair`.
+
+The wrapper keeps its original mesh-only contract (the torus story,
+including seam-wrapping blocks, lives on the engine and on
+:class:`~repro.service.LabelingService`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
-
-import numpy as np
+from typing import List, Optional, Tuple
 
 from repro.core.blocks import FaultyBlock, extract_blocks
-from repro.core.enabling import enabled_fixpoint
-from repro.core.pipeline import LabelingResult, label_mesh
+from repro.core.incremental import BlockEnableCache, DeltaReport, IncrementalLabeling
+from repro.core.pipeline import LabelingResult, assemble_result
 from repro.core.regions import DisabledRegion, extract_regions
-from repro.core.safety import unsafe_fixpoint, unsafe_step
 from repro.core.status import LabelGrid, SafetyDefinition
-from repro.errors import ConvergenceError, FaultModelError
+from repro.errors import FaultModelError
 from repro.faults.faultset import FaultSet
 from repro.mesh.topology import Topology
-from repro.types import BoolGrid, Coord
+from repro.types import Coord
 
 __all__ = ["MaintainedLabeling", "UpdateReport"]
 
 
 @dataclass(frozen=True)
 class UpdateReport:
-    """What one incremental fault injection cost and changed."""
+    """What one incremental update cost and changed.
+
+    Round counts reflect localized work: phase 1 is the warm-started
+    wave's changing rounds, phase 2 the maximum rounds any re-solved
+    block needed (zero when the block cache served everything).
+    """
 
     new_faults: Tuple[Coord, ...]
     rounds_phase1: int
@@ -55,70 +65,76 @@ class UpdateReport:
     newly_unsafe: int       # nodes that flipped safe -> unsafe
     newly_disabled: int     # nonfaulty nodes that lost enabled status
     newly_activated: int    # nonfaulty nodes that gained enabled status
+    repaired: Tuple[Coord, ...] = ()
+    newly_safe: int = 0     # nodes that flipped unsafe -> safe (repair)
 
 
 class MaintainedLabeling:
-    """Continuously maintained two-phase labels over a growing fault set.
+    """Continuously maintained two-phase labels over a changing fault set.
 
     Parameters
     ----------
     topology:
-        The machine (mesh only: incremental maintenance relies on the
-        grid-frame extractors; label a torus from scratch instead).
+        The machine (mesh only: this wrapper predates torus support and
+        keeps its contract; use
+        :class:`~repro.core.incremental.IncrementalLabeling` or the
+        service for tori).
     definition:
         Phase-1 unsafe rule.
+    cache:
+        Optional shared :class:`~repro.core.incremental.BlockEnableCache`.
     """
 
     def __init__(
         self,
         topology: Topology,
         definition: SafetyDefinition = SafetyDefinition.DEF_2B,
+        cache: Optional[BlockEnableCache] = None,
     ):
         if topology.wraps:
             raise FaultModelError(
-                "incremental maintenance supports meshes only; "
-                "relabel tori from scratch with label_mesh()"
+                "MaintainedLabeling supports meshes only; maintain tori "
+                "with IncrementalLabeling or the labeling service"
             )
-        self._topology = topology
-        self._definition = definition
-        self._faulty: BoolGrid = np.zeros(topology.shape, dtype=bool)
-        self._unsafe: BoolGrid = self._faulty.copy()
-        self._enabled: BoolGrid = ~self._faulty
+        self._engine = IncrementalLabeling(topology, definition, cache=cache)
         self._history: List[UpdateReport] = []
 
     # -- views -----------------------------------------------------------------
 
     @property
     def topology(self) -> Topology:
-        return self._topology
+        return self._engine.topology
+
+    @property
+    def engine(self) -> IncrementalLabeling:
+        """The underlying incremental engine."""
+        return self._engine
 
     @property
     def faults(self) -> FaultSet:
         """The accumulated fault set."""
-        return FaultSet.from_mask(self._faulty)
+        return self._engine.faults
 
     @property
     def labels(self) -> LabelGrid:
         """Current label planes."""
-        return LabelGrid(
-            faulty=self._faulty.copy(),
-            unsafe=self._unsafe.copy(),
-            enabled=self._enabled.copy(),
-        )
+        return self._engine.labels
 
     @property
     def blocks(self) -> List[FaultyBlock]:
         """Current faulty blocks."""
-        return extract_blocks(self._unsafe, self._faulty)
+        labels = self._engine.labels
+        return extract_blocks(labels.unsafe, labels.faulty)
 
     @property
     def regions(self) -> List[DisabledRegion]:
         """Current disabled regions."""
-        return extract_regions(self._unsafe & ~self._enabled, self._faulty)
+        labels = self._engine.labels
+        return extract_regions(labels.disabled, labels.faulty)
 
     @property
     def history(self) -> List[UpdateReport]:
-        """Reports of every injection so far, in order."""
+        """Reports of every update so far, in order."""
         return list(self._history)
 
     def snapshot(self) -> LabelingResult:
@@ -129,16 +145,19 @@ class MaintainedLabeling:
         incremental updates, which is what the maintenance actually
         spent.
         """
-        return LabelingResult(
-            topology=self._topology,
-            faults=self.faults,
-            definition=self._definition,
-            labels=self.labels,
-            blocks=self.blocks,
-            regions=self.regions,
+        engine = self._engine
+        labels = engine.labels
+        return assemble_result(
+            topology=engine.topology,
+            faults=engine.faults,
+            definition=engine.definition,
+            faulty=labels.faulty,
+            unsafe=labels.unsafe,
+            enabled=labels.enabled,
             rounds_phase1=sum(r.rounds_phase1 for r in self._history),
             rounds_phase2=sum(r.rounds_phase2 for r in self._history),
             backend="maintained",
+            method="incremental",
         )
 
     # -- updates ----------------------------------------------------------------
@@ -150,56 +169,41 @@ class MaintainedLabeling:
         nodes is a no-op for those nodes; injecting an empty set costs
         zero rounds.
         """
-        coords = (
-            list(new_faults)
-            if not isinstance(new_faults, FaultSet)
-            else list(new_faults)
-        )
-        for c in coords:
-            self._topology.check(c)
+        coords = [(int(c[0]), int(c[1])) for c in new_faults]
+        delta = self._engine.inject(coords)
+        return self._record(tuple(coords), (), delta)
 
-        before_unsafe = self._unsafe
-        before_enabled = self._enabled
+    def repair(self, healed: FaultSet | List[Coord]) -> UpdateReport:
+        """Absorb healed nodes via the bounded un-label wave.
 
-        for c in coords:
-            self._faulty[c] = True
+        The blocks that contained the repaired faults are cleared, their
+        surviving faults re-asserted, and the forward rule re-run on
+        that frontier only — cells elsewhere are untouched.  Repairing a
+        non-faulty node is a no-op for that node.
+        """
+        coords = [(int(c[0]), int(c[1])) for c in healed]
+        delta = self._engine.repair(coords)
+        return self._record((), tuple(coords), delta)
 
-        # Warm-started phase 1: resume the monotone iteration from the
-        # old labels plus the new faults.
-        unsafe = before_unsafe | self._faulty
-        rounds1 = 0
-        budget = self._topology.num_nodes + 2
-        for _ in range(budget + 1):
-            nxt = unsafe_step(self._topology, self._faulty, unsafe, self._definition)
-            if np.array_equal(nxt, unsafe):
-                break
-            unsafe = nxt
-            rounds1 += 1
-        else:
-            raise ConvergenceError("incremental phase 1 failed to converge")
-
-        # Phase 2 from scratch on the new phase-1 labels.
-        enabled, rounds2 = enabled_fixpoint(self._topology, self._faulty, unsafe)
-
+    def _record(
+        self,
+        injected: Tuple[Coord, ...],
+        repaired: Tuple[Coord, ...],
+        delta: DeltaReport,
+    ) -> UpdateReport:
         report = UpdateReport(
-            new_faults=tuple(coords),
-            rounds_phase1=rounds1,
-            rounds_phase2=rounds2,
-            newly_unsafe=int((unsafe & ~before_unsafe & ~self._faulty).sum()),
-            newly_disabled=int(
-                (before_enabled & ~enabled & ~self._faulty).sum()
-            ),
-            newly_activated=int((enabled & ~before_enabled).sum()),
+            new_faults=injected,
+            rounds_phase1=delta.rounds_phase1,
+            rounds_phase2=delta.rounds_phase2,
+            newly_unsafe=delta.newly_unsafe,
+            newly_disabled=delta.newly_disabled,
+            newly_activated=delta.newly_activated,
+            repaired=repaired,
+            newly_safe=delta.newly_safe,
         )
-        self._unsafe = unsafe
-        self._enabled = enabled
         self._history.append(report)
         return report
 
     def verify_against_scratch(self) -> bool:
         """Whether the maintained labels equal from-scratch labeling."""
-        scratch = label_mesh(self._topology, self.faults, self._definition)
-        return bool(
-            np.array_equal(scratch.labels.unsafe, self._unsafe)
-            and np.array_equal(scratch.labels.enabled, self._enabled)
-        )
+        return self._engine.verify_against_scratch()

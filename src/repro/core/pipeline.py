@@ -43,7 +43,7 @@ from repro.faults.schedule import FaultSchedule
 from repro.mesh.topology import Topology
 from repro.obs.telemetry import Telemetry
 
-__all__ = ["LabelingResult", "label_mesh"]
+__all__ = ["LabelingResult", "assemble_result", "label_mesh"]
 
 #: Shared no-op context for the telemetry-off span sites.
 _NULL_SPAN = nullcontext()
@@ -351,6 +351,51 @@ def label_mesh(
     else:
         raise ValueError(f"unknown backend {backend!r}")
 
+    return assemble_result(
+        topology=topology,
+        faults=faults,
+        definition=definition,
+        faulty=faulty,
+        unsafe=unsafe,
+        enabled=enabled,
+        rounds_phase1=rounds1,
+        rounds_phase2=rounds2,
+        backend=backend,
+        stats_phase1=stats1,
+        stats_phase2=stats2,
+        method=method_used,
+        geometry_backend=geometry_backend,
+        telemetry=telemetry,
+    )
+
+
+def assemble_result(
+    topology: Topology,
+    faults: FaultSet,
+    definition: SafetyDefinition,
+    faulty: "np.ndarray",
+    unsafe: "np.ndarray",
+    enabled: "np.ndarray",
+    rounds_phase1: int,
+    rounds_phase2: int,
+    backend: str = "vectorized",
+    stats_phase1: Optional[RunStats] = None,
+    stats_phase2: Optional[RunStats] = None,
+    method: str = "n/a",
+    geometry_backend: GeometryBackend = "vectorized",
+    telemetry: Optional[Telemetry] = None,
+) -> LabelingResult:
+    """Turn converged label planes into a full :class:`LabelingResult`.
+
+    The shared tail of the pipeline: torus unwrapping, label-plane
+    packaging, and block/region extraction (with the extraction spans
+    and events).  Used by :func:`label_mesh` and by the incremental
+    engines (:mod:`repro.core.incremental`, :mod:`repro.service`) whose
+    planes converged by other means.  On a torus the planes are rolled
+    to the unwrap frame, so callers must pass copies they do not need.
+    """
+    tel = telemetry
+    events_on = tel is not None and tel.wants("info")
     unwrap_shift = (0, 0)
     if topology.wraps:
         unwrap_shift = _torus_unwrap_shift(unsafe)
@@ -402,13 +447,13 @@ def label_mesh(
         labels=labels,
         blocks=blocks,
         regions=regions,
-        rounds_phase1=rounds1,
-        rounds_phase2=rounds2,
+        rounds_phase1=rounds_phase1,
+        rounds_phase2=rounds_phase2,
         backend=backend,
-        stats_phase1=stats1,
-        stats_phase2=stats2,
+        stats_phase1=stats_phase1,
+        stats_phase2=stats_phase2,
         unwrap_shift=unwrap_shift,
-        method=method_used,
+        method=method,
         geometry_backend=geometry_backend,
     )
 

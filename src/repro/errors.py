@@ -57,3 +57,9 @@ class ObservabilityError(ReproError):
     """A telemetry artefact is malformed: an event violating its schema,
     an unreadable JSONL trace, or a Chrome-trace file the strict loader
     rejects."""
+
+
+class ServiceError(ReproError):
+    """A labeling-service request is malformed or failed: an unknown op,
+    missing/ill-typed request fields, or an error response received by
+    the client."""

@@ -71,6 +71,11 @@ EVENT_SCHEMAS: Dict[str, FrozenSet[str]] = {
     # sweeps
     "sweep_plan": frozenset({"jobs", "parallel", "chunk"}),
     "sweep_cell": frozenset({"value", "trial", "ok"}),
+    # incremental labeling service
+    "service_update": frozenset(
+        {"injected", "repaired", "rounds1", "rounds2", "latency_us"}
+    ),
+    "service_request": frozenset({"op", "ok", "latency_us"}),
     # full-state snapshots routed to RoundTrace sinks
     "snapshot": frozenset({"key"}),
 }

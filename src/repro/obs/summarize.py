@@ -16,6 +16,7 @@ cells, without ambiguity.
 
 from __future__ import annotations
 
+import math
 from collections import Counter as TallyCounter
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
@@ -23,7 +24,13 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 from repro.errors import ObservabilityError
 from repro.obs.events import validate_event_dict, _iter_jsonl
 
-__all__ = ["EpochReport", "RunReport", "TraceSummary", "summarize_trace"]
+__all__ = [
+    "EpochReport",
+    "RunReport",
+    "TraceSummary",
+    "latency_percentiles",
+    "summarize_trace",
+]
 
 #: Labels that identify which instrumented run an event belongs to.
 _RUN_LABELS = ("engine", "phase")
@@ -85,6 +92,12 @@ class TraceSummary:
     #: time for a traced run.  Empty when the trace holds no pipeline
     #: events.
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Per-op request latency percentiles (µs), rebuilt from
+    #: ``service_request`` events of a traced ``repro serve`` run.
+    #: Keys are ops (``update``, ``query``, ...); values hold ``count``,
+    #: ``errors``, ``p50``, ``p90``, ``p99`` and ``max``.  Empty when
+    #: the trace holds no service events.
+    service_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def run(self, **labels: Any) -> RunReport:
         """The unique run whose labels include ``labels``.
@@ -108,6 +121,8 @@ def summarize_trace(path: str) -> TraceSummary:
     reports: Dict[Tuple[Tuple[str, str], ...], RunReport] = {}
     phase_started: Dict[str, float] = {}
     phase_seconds: Dict[str, float] = {}
+    request_latencies: Dict[str, List[float]] = {}
+    request_errors: TallyCounter = TallyCounter()
     total = 0
     for lineno, record in _iter_jsonl(path):
         try:
@@ -125,6 +140,15 @@ def summarize_trace(path: str) -> TraceSummary:
             elif phase in phase_started:
                 elapsed = float(record["t"]) - phase_started.pop(phase)
                 phase_seconds[phase] = phase_seconds.get(phase, 0.0) + elapsed
+            continue
+        if name == "service_request":
+            fields = record["fields"]
+            op = str(fields["op"])
+            request_latencies.setdefault(op, []).append(
+                float(fields["latency_us"])
+            )
+            if not fields["ok"]:
+                request_errors[op] += 1
             continue
         if name not in ("epoch_end", "run_end"):
             continue
@@ -159,13 +183,40 @@ def summarize_trace(path: str) -> TraceSummary:
         report.epochs.sort(key=lambda e: e.epoch)
         _check_consistency(path, report)
     runs = [reports[k] for k in sorted(reports)]
+    service_latency = {
+        op: latency_percentiles(samples, errors=request_errors[op])
+        for op, samples in sorted(request_latencies.items())
+    }
     return TraceSummary(
         path=path,
         events_total=total,
         by_name=dict(tally),
         runs=runs,
         phase_seconds=phase_seconds,
+        service_latency=service_latency,
     )
+
+
+def latency_percentiles(
+    samples: List[float], errors: int = 0
+) -> Dict[str, float]:
+    """Nearest-rank percentile summary of a latency sample set (µs)."""
+    ordered = sorted(samples)
+    n = len(ordered)
+
+    def rank(q: float) -> float:
+        if n == 0:
+            return 0.0
+        return ordered[min(n - 1, max(0, math.ceil(q * n) - 1))]
+
+    return {
+        "count": float(n),
+        "errors": float(errors),
+        "p50": rank(0.50),
+        "p90": rank(0.90),
+        "p99": rank(0.99),
+        "max": ordered[-1] if n else 0.0,
+    }
 
 
 def _run_key(fields: Mapping[str, Any]) -> Tuple[Tuple[str, str], ...]:
@@ -206,6 +257,15 @@ def format_summary(summary: TraceSummary) -> str:
         for phase in sorted(summary.phase_seconds):
             lines.append(
                 f"  {phase:>18}: {1e3 * summary.phase_seconds[phase]:.2f} ms"
+            )
+    if summary.service_latency:
+        lines.append("")
+        lines.append("service request latency (us):")
+        for op, pct in summary.service_latency.items():
+            lines.append(
+                f"  {op:>18}: n={int(pct['count'])} errors={int(pct['errors'])} "
+                f"p50={pct['p50']:.1f} p90={pct['p90']:.1f} "
+                f"p99={pct['p99']:.1f} max={pct['max']:.1f}"
             )
     for report in summary.runs:
         lines.append("")

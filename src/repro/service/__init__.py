@@ -1,0 +1,30 @@
+"""The incremental relabeling service.
+
+The paper's protocol is distributed and online by design: labels are
+"easily established and maintained through message exchanges among
+neighboring nodes".  This package is the centralized counterpart of
+that maintenance story — a long-lived process holding converged labels
+and answering fault deltas without recomputing the world:
+
+* :class:`LabelingService` — the in-process API: instrumented
+  ``update``/``query``/``snapshot``/``stats`` over one
+  :class:`~repro.core.incremental.IncrementalLabeling` engine.
+* :class:`LabelingServer` / :func:`handle_request` — the NDJSON socket
+  front end behind ``repro serve`` (TCP or Unix-domain).
+* :class:`ServiceClient` — the reference client.
+
+Every answer is bit-for-bit the from-scratch fixpoint of the
+accumulated fault set; the property tests in
+``tests/properties/test_incremental_props.py`` pin that invariant.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.labeling import LabelingService
+from repro.service.server import LabelingServer, handle_request
+
+__all__ = [
+    "LabelingServer",
+    "LabelingService",
+    "ServiceClient",
+    "handle_request",
+]

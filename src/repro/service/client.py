@@ -1,0 +1,128 @@
+"""A small NDJSON client for the labeling server.
+
+:class:`ServiceClient` speaks the one-line-JSON-per-request protocol of
+:mod:`repro.service.server` over a TCP or Unix-domain socket.  The
+convenience methods (:meth:`update`, :meth:`query_nodes`, ...) raise
+:class:`~repro.errors.ServiceError` on an error response; the raw
+:meth:`request` returns whatever the server said.
+
+Used by the service tests and as the reference implementation for
+non-Python clients (the protocol is trivial to speak from anything that
+can write a JSON line to a socket)::
+
+    with ServiceClient.connect_tcp(host, port) as client:
+        client.update(inject=[(3, 4)])
+        client.query_nodes([(3, 4), (0, 0)])
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.types import Coord
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One connection to a running labeling server."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+
+    @classmethod
+    def connect_tcp(
+        cls, host: str, port: int, timeout: Optional[float] = 10.0
+    ) -> "ServiceClient":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        return cls(sock)
+
+    @classmethod
+    def connect_unix(
+        cls, path: str, timeout: Optional[float] = 10.0
+    ) -> "ServiceClient":
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
+            raise ServiceError("unix sockets are not supported on this platform")
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(path)
+        return cls(sock)
+
+    # -- protocol ---------------------------------------------------------------
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object, return the decoded response object."""
+        self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+        line = self._rfile.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        return json.loads(line)
+
+    def _checked(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        response = self.request(payload)
+        if not response.get("ok"):
+            raise ServiceError(
+                f"{payload.get('op')}: {response.get('error', 'unknown error')}"
+            )
+        return response
+
+    # -- convenience ops --------------------------------------------------------
+
+    def ping(self) -> int:
+        """Liveness probe; returns the engine version."""
+        return int(self._checked({"op": "ping"})["version"])
+
+    def update(
+        self,
+        inject: Iterable[Coord] = (),
+        repair: Iterable[Coord] = (),
+    ) -> Dict[str, Any]:
+        """Absorb a fault delta; returns the delta report dict."""
+        return self._checked(
+            {
+                "op": "update",
+                "inject": [list(c) for c in inject],
+                "repair": [list(c) for c in repair],
+            }
+        )["delta"]
+
+    def query_nodes(self, coords: Iterable[Coord]) -> List[Dict[str, Any]]:
+        """Per-node status for the given coordinates."""
+        return self._checked(
+            {"op": "query", "coords": [list(c) for c in coords]}
+        )["nodes"]
+
+    def query_blocks(self) -> List[Dict[str, Any]]:
+        return self._checked({"op": "query", "what": "blocks"})["blocks"]
+
+    def query_regions(self) -> List[Dict[str, Any]]:
+        return self._checked({"op": "query", "what": "regions"})["regions"]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Full summary plus block/region summaries."""
+        return self._checked({"op": "snapshot"})
+
+    def stats(self) -> Dict[str, Any]:
+        return self._checked({"op": "stats"})["stats"]
+
+    def shutdown(self) -> None:
+        """Ask the server to stop (acknowledged before it exits)."""
+        self._checked({"op": "shutdown"})
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,194 @@
+"""The in-process labeling service: converged labels as a live object.
+
+:class:`LabelingService` wraps one
+:class:`~repro.core.incremental.IncrementalLabeling` engine with the
+operational surface a long-lived process needs: instrumented updates
+(per-update spans, latency histograms, ``service_update`` events), a
+rolling latency window for percentile reporting, and a ``stats()``
+snapshot that the NDJSON server's ``stats`` op returns verbatim.
+
+Sweeps and benchmarks use this class directly; ``repro serve`` puts a
+socket in front of it (:mod:`repro.service.server`).  Either way the
+answers are bit-for-bit the from-scratch fixpoint of the accumulated
+fault set — the engine's property tests pin that, and
+:meth:`verify_against_scratch` re-checks it on demand.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional
+
+from repro.core.incremental import (
+    BlockEnableCache,
+    DeltaReport,
+    IncrementalLabeling,
+)
+from repro.core.pipeline import LabelingResult
+from repro.core.status import NodeStatus, SafetyDefinition
+from repro.faults.faultset import FaultSet
+from repro.mesh.topology import Topology
+from repro.obs.summarize import latency_percentiles
+from repro.obs.telemetry import Telemetry
+from repro.types import Coord
+
+__all__ = ["LabelingService"]
+
+
+class LabelingService:
+    """Online fault-delta answering over a maintained label state.
+
+    Parameters
+    ----------
+    topology:
+        Mesh or torus.
+    definition:
+        Phase-1 unsafe rule.
+    faults:
+        Optional initial fault set; absorbed as one injection.
+    cache:
+        Optional shared :class:`~repro.core.incremental.BlockEnableCache`.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry`.  Each update
+        runs under a ``service_update`` span, emits a ``service_update``
+        event, and observes its latency into the
+        ``service_update_latency_us`` histogram.
+    latency_window:
+        How many recent update latencies the rolling percentile window
+        keeps.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        definition: SafetyDefinition = SafetyDefinition.DEF_2B,
+        faults: Optional[FaultSet | Iterable[Coord]] = None,
+        cache: Optional[BlockEnableCache] = None,
+        telemetry: Optional[Telemetry] = None,
+        latency_window: int = 8192,
+    ):
+        # An empty Telemetry (no sinks/metrics/spans) keeps every guard
+        # false, so the untraced service pays only the branch.
+        self._telemetry = telemetry if telemetry is not None else Telemetry()
+        self._engine = IncrementalLabeling(
+            topology, definition, cache=cache, telemetry=telemetry
+        )
+        self._latency_us: Deque[float] = deque(maxlen=latency_window)
+        self._latency_meter = (
+            None
+            if telemetry is None or telemetry.metrics is None
+            else telemetry.histogram("service_update_latency_us")
+        )
+        self._started_at = time.time()
+        if faults is not None:
+            self.update(inject=list(faults))
+
+    # -- views ------------------------------------------------------------------
+
+    @property
+    def engine(self) -> IncrementalLabeling:
+        """The underlying incremental engine (shared state, not a copy)."""
+        return self._engine
+
+    @property
+    def topology(self) -> Topology:
+        return self._engine.topology
+
+    @property
+    def definition(self) -> SafetyDefinition:
+        return self._engine.definition
+
+    @property
+    def version(self) -> int:
+        return self._engine.version
+
+    @property
+    def faults(self) -> FaultSet:
+        return self._engine.faults
+
+    def is_enabled(self, c: Coord) -> bool:
+        return self._engine.is_enabled(c)
+
+    def status_of(self, c: Coord) -> NodeStatus:
+        return self._engine.status_of(c)
+
+    def block_summaries(self) -> List[Dict[str, object]]:
+        return self._engine.block_summaries()
+
+    def snapshot(self, geometry_backend: str = "vectorized") -> LabelingResult:
+        """Full :class:`LabelingResult` of the current state (cached per
+        version)."""
+        return self._engine.snapshot(geometry_backend, telemetry=self._telemetry)
+
+    # -- updates ----------------------------------------------------------------
+
+    def update(
+        self,
+        inject: Iterable[Coord] = (),
+        repair: Iterable[Coord] = (),
+    ) -> DeltaReport:
+        """Absorb one fault-set delta; the instrumented front door.
+
+        Semantics are exactly :meth:`IncrementalLabeling.apply`; this
+        wrapper adds the span, the latency sample, and the
+        ``service_update`` event.
+        """
+        tel = self._telemetry
+        with tel.span("service_update"):
+            t0 = time.perf_counter()
+            delta = self._engine.apply(inject=inject, repair=repair)
+            latency_us = 1e6 * (time.perf_counter() - t0)
+        self._latency_us.append(latency_us)
+        if self._latency_meter is not None:
+            self._latency_meter.observe(latency_us)
+        if tel.wants("info"):
+            tel.emit(
+                "service_update",
+                injected=len(delta.injected),
+                repaired=len(delta.repaired),
+                rounds1=delta.rounds_phase1,
+                rounds2=delta.rounds_phase2,
+                latency_us=latency_us,
+            )
+        return delta
+
+    def inject(self, coords: Iterable[Coord]) -> DeltaReport:
+        return self.update(inject=list(coords))
+
+    def repair(self, coords: Iterable[Coord]) -> DeltaReport:
+        return self.update(repair=list(coords))
+
+    # -- reporting --------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Operational counters: what ``repro serve``'s ``stats`` op
+        returns.
+
+        ``update_latency_us`` summarizes the rolling window of recent
+        updates (nearest-rank percentiles); cache numbers come straight
+        from the shared :class:`BlockEnableCache`.
+        """
+        engine = self._engine
+        topo = engine.topology
+        return {
+            "topology": {
+                "kind": "torus" if topo.wraps else "mesh",
+                "width": topo.shape[0],
+                "height": topo.shape[1],
+            },
+            "definition": engine.definition.value,
+            "version": engine.version,
+            "uptime_s": time.time() - self._started_at,
+            "faults": engine.num_faults,
+            "blocks": engine.num_blocks,
+            "updates": engine.num_updates,
+            "rounds_phase1_total": engine.total_rounds_phase1,
+            "rounds_phase2_total": engine.total_rounds_phase2,
+            "cache": engine.cache.stats(),
+            "update_latency_us": latency_percentiles(list(self._latency_us)),
+        }
+
+    def verify_against_scratch(self) -> bool:
+        """Whether the served labels equal from-scratch labeling."""
+        return self._engine.verify_against_scratch()

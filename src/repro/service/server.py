@@ -1,0 +1,346 @@
+"""The NDJSON socket front end of the labeling service.
+
+``repro serve`` keeps one :class:`~repro.service.labeling.LabelingService`
+alive behind a stream socket (TCP or Unix-domain).  The wire protocol is
+newline-delimited JSON: each request is one JSON object on one line, each
+response one JSON object on one line, in order, over a connection that
+may carry any number of requests.
+
+Requests name an ``op``:
+
+``ping``
+    Liveness probe; echoes the engine version.
+``update``
+    ``{"op": "update", "inject": [[x, y], ...], "repair": [...]}`` —
+    absorb a fault delta, return the :class:`DeltaReport` as JSON.
+``query``
+    ``{"op": "query", "coords": [[x, y], ...]}`` — per-node status, or
+    ``{"op": "query", "what": "blocks" | "regions"}`` for geometric
+    summaries.
+``snapshot``
+    The full labeling summary plus block/region summaries (runs the
+    geometric extraction; cached per version).
+``stats``
+    Operational counters (:meth:`LabelingService.stats`).
+``shutdown``
+    Acknowledge, then stop the server.
+
+Every response carries ``"ok"``; failures carry ``"error"`` (the
+exception message) and ``"error_type"`` and never tear down the
+connection — bad requests are part of normal operation for a long-lived
+process.  With telemetry attached, each request emits a
+``service_request`` event (op, outcome, latency), which is what ``repro
+obs summarize`` turns into per-op latency percentiles.
+
+The server is deliberately small: a threading ``socketserver`` with one
+lock around the service (updates are serialized; the engine is not
+thread-safe).  It exists so sweeps, notebooks, or non-Python tooling can
+share one warm engine instead of each paying a from-scratch labeling.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ReproError, ServiceError
+from repro.obs.telemetry import Telemetry
+from repro.service.labeling import LabelingService
+
+__all__ = ["LabelingServer", "handle_request", "serve_forever"]
+
+
+def _coord_list(value: Any, field: str) -> list:
+    """Decode a request's coordinate list, strictly."""
+    if value is None:
+        return []
+    if not isinstance(value, (list, tuple)):
+        raise ServiceError(f"{field!r} must be a list of [x, y] pairs")
+    out = []
+    for item in value:
+        if (
+            not isinstance(item, (list, tuple))
+            or len(item) != 2
+            or not all(isinstance(v, int) and not isinstance(v, bool) for v in item)
+        ):
+            raise ServiceError(
+                f"{field!r} entries must be [x, y] integer pairs, got {item!r}"
+            )
+        out.append((item[0], item[1]))
+    return out
+
+
+def _delta_dict(delta) -> Dict[str, Any]:
+    return {
+        "injected": [list(c) for c in delta.injected],
+        "repaired": [list(c) for c in delta.repaired],
+        "rounds_phase1": delta.rounds_phase1,
+        "rounds_phase2": delta.rounds_phase2,
+        "newly_unsafe": delta.newly_unsafe,
+        "newly_safe": delta.newly_safe,
+        "newly_disabled": delta.newly_disabled,
+        "newly_activated": delta.newly_activated,
+        "blocks_changed": delta.blocks_changed,
+        "cache_hits": delta.cache_hits,
+        "cache_misses": delta.cache_misses,
+        "resynced": delta.resynced,
+    }
+
+
+def _query(service: LabelingService, request: Dict[str, Any]) -> Dict[str, Any]:
+    if "coords" in request:
+        coords = _coord_list(request["coords"], "coords")
+        nodes = []
+        for c in coords:
+            status = service.status_of(c)
+            nodes.append(
+                {
+                    "coord": list(c),
+                    "status": status.value,
+                    "enabled": service.is_enabled(c),
+                }
+            )
+        return {"nodes": nodes}
+    what = request.get("what")
+    if what == "blocks":
+        return {"blocks": service.block_summaries()}
+    if what == "regions":
+        regions = service.snapshot().regions
+        return {
+            "regions": [
+                {
+                    "cells": len(r.cells),
+                    "faults": r.num_faults,
+                    "nonfaulty": r.num_nonfaulty,
+                    "diameter": r.diameter,
+                }
+                for r in regions
+            ]
+        }
+    raise ServiceError(
+        "query needs 'coords' or 'what' in {'blocks', 'regions'}, "
+        f"got {sorted(set(request) - {'op'})!r}"
+    )
+
+
+def handle_request(
+    service: LabelingService,
+    request: Dict[str, Any],
+    lock: Optional[threading.Lock] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> Tuple[Dict[str, Any], bool]:
+    """Dispatch one decoded request; return ``(response, shutdown)``.
+
+    Never raises for malformed requests or library errors — those become
+    ``{"ok": False, "error": ...}`` responses.  Shared by the socket
+    server and the in-process tests, so the protocol has exactly one
+    implementation.
+    """
+    t0 = time.perf_counter()
+    op = request.get("op") if isinstance(request, dict) else None
+    shutdown = False
+    try:
+        if not isinstance(request, dict):
+            raise ServiceError("request must be a JSON object")
+        if not isinstance(op, str):
+            raise ServiceError("request needs a string 'op' field")
+        guard = lock if lock is not None else threading.Lock()
+        with guard:
+            if op == "ping":
+                response: Dict[str, Any] = {"ok": True, "version": service.version}
+            elif op == "update":
+                delta = service.update(
+                    inject=_coord_list(request.get("inject"), "inject"),
+                    repair=_coord_list(request.get("repair"), "repair"),
+                )
+                response = {
+                    "ok": True,
+                    "version": service.version,
+                    "delta": _delta_dict(delta),
+                }
+            elif op == "query":
+                response = {"ok": True, **_query(service, request)}
+            elif op == "snapshot":
+                result = service.snapshot()
+                response = {
+                    "ok": True,
+                    "summary": result.summary(),
+                    "blocks": service.block_summaries(),
+                    "regions": _query(service, {"what": "regions"})["regions"],
+                }
+            elif op == "stats":
+                response = {"ok": True, "stats": service.stats()}
+            elif op == "shutdown":
+                response = {"ok": True, "version": service.version}
+                shutdown = True
+            else:
+                raise ServiceError(f"unknown op {op!r}")
+    except (ReproError, KeyError, TypeError, ValueError) as exc:
+        response = {
+            "ok": False,
+            "error": str(exc),
+            "error_type": type(exc).__name__,
+        }
+    latency_us = 1e6 * (time.perf_counter() - t0)
+    if telemetry is not None and telemetry.wants("info"):
+        telemetry.emit(
+            "service_request",
+            op=op if isinstance(op, str) else "?",
+            ok=response["ok"],
+            latency_us=latency_us,
+        )
+    return response, shutdown
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: NDJSON lines in, NDJSON lines out."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        server: "LabelingServer" = self.server  # type: ignore[assignment]
+        for line in self.rfile:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                response, shutdown = (
+                    {
+                        "ok": False,
+                        "error": f"not JSON: {exc}",
+                        "error_type": "ServiceError",
+                    },
+                    False,
+                )
+            else:
+                response, shutdown = handle_request(
+                    server.service, request, server.lock, server.telemetry
+                )
+            self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
+            self.wfile.flush()
+            server.count_request()
+            if shutdown or server.exhausted():
+                server.request_shutdown()
+                return
+
+
+class _TCPServer(socketserver.ThreadingMixIn, socketserver.TCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+if hasattr(socketserver, "UnixStreamServer"):
+
+    class _UnixServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
+        daemon_threads = True
+
+else:  # pragma: no cover - non-POSIX fallback
+    _UnixServer = None  # type: ignore[assignment]
+
+
+class LabelingServer:
+    """A labeling service behind a TCP or Unix-domain stream socket.
+
+    Parameters
+    ----------
+    service:
+        The :class:`LabelingService` to expose.
+    host, port:
+        TCP bind address (``port=0`` picks an ephemeral port; see
+        :attr:`address`).  Mutually exclusive with ``unix_path``.
+    unix_path:
+        Unix-domain socket path.
+    telemetry:
+        Optional telemetry; per-request ``service_request`` events.
+    max_requests:
+        Stop after this many responses (``None`` = run until
+        ``shutdown`` or :meth:`shutdown`).  Lets smoke tests bound the
+        process lifetime.
+    """
+
+    def __init__(
+        self,
+        service: LabelingService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: Optional[str] = None,
+        telemetry: Optional[Telemetry] = None,
+        max_requests: Optional[int] = None,
+    ):
+        self.service = service
+        self.telemetry = telemetry
+        self.lock = threading.Lock()
+        self._count_lock = threading.Lock()
+        self._requests_served = 0
+        self._max_requests = max_requests
+        if unix_path is not None:
+            if _UnixServer is None:  # pragma: no cover
+                raise ServiceError("unix sockets are not supported on this platform")
+            self._server = _UnixServer(unix_path, _Handler)
+            self.address: Any = unix_path
+        else:
+            self._server = _TCPServer((host, port), _Handler)
+            self.address = self._server.server_address
+        self._server.service = service  # type: ignore[attr-defined]
+        self._server.lock = self.lock  # type: ignore[attr-defined]
+        self._server.telemetry = telemetry  # type: ignore[attr-defined]
+        self._server.count_request = self.count_request  # type: ignore[attr-defined]
+        self._server.exhausted = self.exhausted  # type: ignore[attr-defined]
+        self._server.request_shutdown = self.shutdown  # type: ignore[attr-defined]
+
+    # -- bookkeeping shared with handlers ---------------------------------------
+
+    def count_request(self) -> None:
+        with self._count_lock:
+            self._requests_served += 1
+
+    def exhausted(self) -> bool:
+        with self._count_lock:
+            return (
+                self._max_requests is not None
+                and self._requests_served >= self._max_requests
+            )
+
+    @property
+    def requests_served(self) -> int:
+        with self._count_lock:
+            return self._requests_served
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`shutdown` (or the
+        ``shutdown`` op / ``max_requests``)."""
+        self._server.serve_forever(poll_interval=0.05)
+
+    def serve_in_thread(self) -> threading.Thread:
+        """Start serving on a daemon thread; returns the thread."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def shutdown(self) -> None:
+        """Stop the serve loop (idempotent, callable from any thread)."""
+        threading.Thread(target=self._server.shutdown, daemon=True).start()
+
+    def close(self) -> None:
+        """Release the listening socket."""
+        self._server.server_close()
+
+    def __enter__(self) -> "LabelingServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+        self.close()
+
+
+def serve_forever(server: LabelingServer) -> None:
+    """Module-level convenience used by the CLI."""
+    try:
+        server.serve_forever()
+    finally:
+        server.close()

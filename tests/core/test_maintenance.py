@@ -102,6 +102,68 @@ class TestReports:
         assert snap.backend == "maintained"
 
 
+class TestRepair:
+    def test_repair_restores_prior_labels(self):
+        m = MaintainedLabeling(Mesh2D(12, 12))
+        m.inject([(4, 4), (5, 5)])
+        before = m.labels
+        m.inject([(6, 6)])
+        report = m.repair([(6, 6)])
+        assert report.repaired == ((6, 6),)
+        assert np.array_equal(m.labels.unsafe, before.unsafe)
+        assert np.array_equal(m.labels.enabled, before.enabled)
+        assert m.verify_against_scratch()
+
+    def test_repair_everything_returns_to_pristine(self):
+        m = MaintainedLabeling(Mesh2D(12, 12))
+        rng = np.random.default_rng(7)
+        batch = uniform_random((12, 12), 10, rng)
+        m.inject(batch)
+        report = m.repair(batch)
+        assert len(m.faults) == 0
+        assert m.labels.enabled.all() and not m.labels.unsafe.any()
+        assert report.newly_safe > 0
+
+    def test_repair_nonfaulty_is_noop(self):
+        m = MaintainedLabeling(Mesh2D(8, 8))
+        m.inject([(2, 2)])
+        report = m.repair([(6, 6)])
+        assert report.newly_safe == 0
+        assert report.rounds_phase1 == 0 and report.rounds_phase2 == 0
+        assert len(m.faults) == 1
+
+    def test_repair_splits_a_block(self):
+        # Healing the bridge fault of an L-shaped cluster must shrink or
+        # split the standing block, exactly as scratch labeling would.
+        m = MaintainedLabeling(Mesh2D(14, 14), SafetyDefinition.DEF_2A)
+        m.inject([(4, 4), (5, 4), (6, 4), (6, 5), (6, 6)])
+        m.repair([(6, 4)])
+        assert m.verify_against_scratch()
+
+    def test_repair_reports_in_history(self):
+        m = MaintainedLabeling(Mesh2D(8, 8))
+        m.inject([(3, 3)])
+        m.repair([(3, 3)])
+        assert len(m.history) == 2
+        assert m.history[1].repaired == ((3, 3),)
+        assert m.history[1].new_faults == ()
+
+    def test_interleaved_inject_repair_matches_scratch(self):
+        m = MaintainedLabeling(Mesh2D(12, 12))
+        rng = np.random.default_rng(11)
+        live = []
+        for _ in range(30):
+            if live and rng.random() < 0.5:
+                c = live.pop(int(rng.integers(len(live))))
+                m.repair([c])
+            else:
+                c = (int(rng.integers(12)), int(rng.integers(12)))
+                if not m.engine.is_faulty(c):
+                    live.append(c)
+                m.inject([c])
+            assert m.verify_against_scratch()
+
+
 class TestWarmStartEfficiency:
     def test_incremental_rounds_never_exceed_scratch(self):
         # Build a large cluster, then add one nearby fault: the warm

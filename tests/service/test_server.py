@@ -1,0 +1,230 @@
+"""The NDJSON protocol and the socket servers behind ``repro serve``.
+
+``handle_request`` is tested in-process (the protocol has exactly one
+implementation, shared by the socket front end), then full TCP and
+Unix-domain round trips run through :class:`ServiceClient`, including
+error responses, the shutdown op, and telemetry artefacts of a traced
+server.
+"""
+
+import json
+import socket as socket_module
+import threading
+
+import pytest
+
+from repro.mesh import Mesh2D
+from repro.obs import JSONLSink, Telemetry
+from repro.obs.events import validate_jsonl
+from repro.obs.summarize import summarize_trace
+from repro.service import (
+    LabelingServer,
+    LabelingService,
+    ServiceClient,
+    handle_request,
+)
+
+FAULTS = [(3, 3), (3, 4), (4, 3)]
+
+
+@pytest.fixture()
+def service():
+    return LabelingService(Mesh2D(16, 16), faults=FAULTS)
+
+
+class TestHandleRequest:
+    def test_ping(self, service):
+        response, shutdown = handle_request(service, {"op": "ping"})
+        assert response == {"ok": True, "version": 1}
+        assert not shutdown
+
+    def test_update_returns_delta(self, service):
+        response, _ = handle_request(
+            service, {"op": "update", "inject": [[10, 10]]}
+        )
+        assert response["ok"]
+        assert response["delta"]["injected"] == [[10, 10]]
+        assert response["version"] == 2
+        assert json.loads(json.dumps(response)) == response  # JSON-safe
+
+    def test_query_coords(self, service):
+        response, _ = handle_request(
+            service, {"op": "query", "coords": [[3, 3], [0, 0]]}
+        )
+        assert response["nodes"][0]["status"] == "faulty"
+        assert response["nodes"][1] == {
+            "coord": [0, 0], "status": "safe", "enabled": True,
+        }
+
+    def test_query_blocks_and_regions(self, service):
+        blocks, _ = handle_request(service, {"op": "query", "what": "blocks"})
+        assert blocks["blocks"][0]["origin"] == [3, 3]
+        regions, _ = handle_request(service, {"op": "query", "what": "regions"})
+        assert regions["regions"][0]["faults"] == 3
+
+    def test_snapshot(self, service):
+        response, _ = handle_request(service, {"op": "snapshot"})
+        assert response["summary"]["f"] == 3
+        assert len(response["blocks"]) == response["summary"]["num_blocks"]
+        assert json.loads(json.dumps(response)) == response
+
+    def test_stats(self, service):
+        response, _ = handle_request(service, {"op": "stats"})
+        assert response["stats"]["faults"] == 3
+
+    def test_shutdown_op(self, service):
+        response, shutdown = handle_request(service, {"op": "shutdown"})
+        assert response["ok"] and shutdown
+
+    @pytest.mark.parametrize(
+        "request_obj, error_type",
+        [
+            ({"op": "nope"}, "ServiceError"),
+            ({}, "ServiceError"),
+            ({"op": 7}, "ServiceError"),
+            ({"op": "update", "inject": [[1, 2, 3]]}, "ServiceError"),
+            ({"op": "update", "inject": [[1.5, 2]]}, "ServiceError"),
+            ({"op": "update", "inject": "nope"}, "ServiceError"),
+            ({"op": "update", "inject": [[99, 0]]}, "TopologyError"),
+            ({"op": "update", "inject": [[1, 1]], "repair": [[1, 1]]},
+             "FaultModelError"),
+            ({"op": "query"}, "ServiceError"),
+            ({"op": "query", "what": "polygons"}, "ServiceError"),
+        ],
+    )
+    def test_errors_become_responses(self, service, request_obj, error_type):
+        response, shutdown = handle_request(service, request_obj)
+        assert response["ok"] is False
+        assert response["error_type"] == error_type
+        assert not shutdown
+
+    def test_errors_do_not_corrupt_state(self, service):
+        handle_request(service, {"op": "update", "inject": [[99, 0]]})
+        assert service.verify_against_scratch()
+
+    def test_request_events_are_emitted(self, service, tmp_path):
+        trace = tmp_path / "requests.jsonl"
+        telemetry = Telemetry(sinks=[JSONLSink(str(trace))])
+        handle_request(service, {"op": "ping"}, telemetry=telemetry)
+        handle_request(service, {"op": "nope"}, telemetry=telemetry)
+        telemetry.close()
+        assert validate_jsonl(str(trace)) == 2
+        summary = summarize_trace(str(trace))
+        assert summary.service_latency["ping"]["count"] == 1.0
+        assert summary.service_latency["nope"]["errors"] == 1.0
+
+
+def _with_server(server, fn):
+    thread = server.serve_in_thread()
+    try:
+        return fn()
+    finally:
+        server.shutdown()
+        thread.join(timeout=5)
+        server.close()
+
+
+class TestSocketRoundTrips:
+    def test_tcp_round_trip(self, service):
+        server = LabelingServer(service)  # ephemeral port
+        host, port = server.address
+
+        def talk():
+            with ServiceClient.connect_tcp(host, port) as client:
+                assert client.ping() == 1
+                delta = client.update(inject=[(10, 10)])
+                assert delta["injected"] == [[10, 10]]
+                nodes = client.query_nodes([(10, 10)])
+                assert nodes[0]["status"] == "faulty"
+                assert client.query_blocks()
+                assert client.query_regions()
+                assert client.snapshot()["summary"]["f"] == 4
+                assert client.stats()["updates"] == 2
+                response = client.request({"op": "nope"})
+                assert response["ok"] is False
+                assert response["error_type"] == "ServiceError"
+
+        _with_server(server, talk)
+        assert server.requests_served >= 8
+
+    def test_unix_round_trip(self, service, tmp_path):
+        if not hasattr(socket_module, "AF_UNIX"):
+            pytest.skip("no unix sockets on this platform")
+        path = str(tmp_path / "repro.sock")
+        server = LabelingServer(service, unix_path=path)
+
+        def talk():
+            with ServiceClient.connect_unix(path) as client:
+                assert client.ping() == 1
+                client.update(inject=[(12, 12)], repair=[(3, 3)])
+                assert client.stats()["faults"] == 3
+
+        _with_server(server, talk)
+
+    def test_malformed_line_gets_error_response(self, service):
+        server = LabelingServer(service)
+        host, port = server.address
+
+        def talk():
+            sock = socket_module.create_connection((host, port), timeout=5)
+            try:
+                sock.sendall(b"this is not json\n")
+                line = sock.makefile("rb").readline()
+                response = json.loads(line)
+                assert response["ok"] is False
+                assert "not JSON" in response["error"]
+            finally:
+                sock.close()
+
+        _with_server(server, talk)
+
+    def test_shutdown_op_stops_the_server(self, service):
+        server = LabelingServer(service)
+        host, port = server.address
+        thread = server.serve_in_thread()
+        with ServiceClient.connect_tcp(host, port) as client:
+            client.shutdown()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        server.close()
+
+    def test_max_requests_bounds_the_server(self, service):
+        server = LabelingServer(service, max_requests=2)
+        host, port = server.address
+        thread = server.serve_in_thread()
+        with ServiceClient.connect_tcp(host, port) as client:
+            client.ping()
+            client.ping()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert server.requests_served == 2
+        server.close()
+
+    def test_concurrent_clients_are_serialized(self, service):
+        server = LabelingServer(service)
+        host, port = server.address
+
+        def talk():
+            errors = []
+
+            def worker(cell):
+                try:
+                    with ServiceClient.connect_tcp(host, port) as client:
+                        client.update(inject=[cell])
+                        client.update(repair=[cell])
+                except Exception as exc:  # pragma: no cover - failure detail
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=((8 + i, 8),))
+                for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10)
+            assert not errors
+
+        _with_server(server, talk)
+        assert service.verify_against_scratch()
+        assert service.engine.num_faults == len(FAULTS)

@@ -190,6 +190,82 @@ class TestLabelTelemetryFlags:
         assert "node_flip" in names(debug)
 
 
+class TestServeCommand:
+    def _serve_thread(self, argv):
+        import threading
+
+        result = {}
+
+        def run():
+            result["rc"] = main(argv)
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        return thread, result
+
+    def test_serve_tcp_round_trip(self, tmp_path, capsys):
+        import time
+
+        from repro.service import ServiceClient
+
+        trace = tmp_path / "serve.jsonl"
+        thread, result = self._serve_thread(
+            [
+                "serve", "--size", "20", "--faults", "6", "--seed", "3",
+                "--port", "0", "--max-requests", "3",
+                "--trace-out", str(trace),
+            ]
+        )
+        # The ephemeral port is printed on startup; poll the captured
+        # stdout until the listening line appears.
+        host = port = None
+        for _ in range(200):
+            out = capsys.readouterr().out
+            for line in out.splitlines():
+                if line.startswith("listening on "):
+                    addr = line.split()[-1]
+                    host, port = addr.rsplit(":", 1)
+            if host is not None:
+                break
+            time.sleep(0.05)
+        assert host is not None, "server never printed its address"
+        with ServiceClient.connect_tcp(host, int(port)) as client:
+            client.ping()
+            assert client.update(inject=[(10, 10)])["injected"] == [[10, 10]]
+            assert client.stats()["faults"] == 7
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert result["rc"] == 0
+
+        from repro.obs import validate_jsonl
+
+        assert validate_jsonl(str(trace)) > 0
+
+    def test_serve_unix_socket(self, tmp_path, capsys):
+        import os
+        import socket as socket_module
+        import time
+
+        if not hasattr(socket_module, "AF_UNIX"):
+            pytest.skip("no unix sockets on this platform")
+        from repro.service import ServiceClient
+
+        path = str(tmp_path / "repro.sock")
+        thread, result = self._serve_thread(
+            ["serve", "--size", "16", "--unix", path, "--max-requests", "2"]
+        )
+        for _ in range(200):
+            if os.path.exists(path):
+                break
+            time.sleep(0.05)
+        with ServiceClient.connect_unix(path) as client:
+            client.update(inject=[(5, 5)])
+            assert client.query_nodes([(5, 5)])[0]["status"] == "faulty"
+        thread.join(timeout=10)
+        assert result["rc"] == 0
+        assert not os.path.exists(path)  # socket file cleaned up
+
+
 class TestObsCommand:
     def _traced(self, tmp_path):
         trace = tmp_path / "trace.jsonl"
