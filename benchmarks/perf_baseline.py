@@ -397,12 +397,66 @@ def bench_incremental(size: int, f: int, updates: int, repeats: int) -> dict:
     print(
         f"{'service throughput':>28}: {entry['updates_per_sec']:,.0f} updates/sec"
     )
+
+    # WAL-on leg: the identical stream through a durable service (every
+    # delta hits the write-ahead log before the ack; checkpoints rotate
+    # the log).  The interesting number is ``relative`` — how much of
+    # the in-memory throughput survives durability.  Afterwards the WAL
+    # directory is recovered and verified bit-for-bit, so the leg also
+    # exercises the recovery path at benchmark scale.
+    import tempfile
+
+    from repro.service.recovery import recover_state
+
+    with tempfile.TemporaryDirectory(prefix="repro-wal-bench-") as wal_dir:
+        durable_service = LabelingService(
+            topo,
+            faults=faults,
+            wal_dir=wal_dir,
+            snapshot_every=max(512, updates // 4),
+        )
+
+        def run_stream_durable():
+            update = durable_service.update
+            for op, c in stream:
+                if op == "inject":
+                    update(inject=(c,))
+                else:
+                    update(repair=(c,))
+
+        t_durable, _ = _best_of(run_stream_durable, repeats)
+        durable_service.finalize()
+        wal_stats = durable_service.stats()["wal"]
+        recovered = recover_state(wal_dir)
+        assert recovered.verified, "WAL recovery failed bit-for-bit check"
+        assert recovered.engine.version == durable_service.version, (
+            "recovered WAL state is not at the acknowledged version"
+        )
+
+    durable_ups = n / t_durable
+    durable_entry = {
+        "updates": n,
+        "updates_per_sec": round(durable_ups, 1),
+        "stream_s": round(t_durable, 6),
+        "relative": round(durable_ups / (n / t_stream), 4),
+        "wal_appended": wal_stats["appended"],
+        "wal_bytes": wal_stats["bytes_written"],
+        "snapshots": wal_stats["snapshots"],
+        "recovery_replayed": recovered.replayed,
+        "recovery_s": round(recovered.elapsed_s, 6),
+    }
+    print(
+        f"{'durable throughput':>28}: {durable_ups:,.0f} updates/sec "
+        f"({durable_entry['relative']:.2f}x in-memory, "
+        f"{wal_stats['snapshots']} snapshots)"
+    )
     stats = service.stats()
     return {
         "mesh": f"{size}x{size}",
         "faults": f,
         "fault_model": "uniform",
         "service": entry,
+        "durable": durable_entry,
         "cache": stats["cache"],
     }
 

@@ -10,7 +10,9 @@ Exposes the library's main workflows without writing any Python:
 * ``partition`` — run the open-problem cover heuristics on random faults;
 * ``obs``       — validate and summarize telemetry artefacts;
 * ``serve``     — run the incremental relabeling service behind an
-  NDJSON socket (TCP or Unix-domain), answering fault deltas online.
+  NDJSON socket (TCP or Unix-domain), answering fault deltas online;
+  ``--wal-dir`` makes it crash-safe (write-ahead log + snapshot
+  checkpoints) and ``--recover`` rebuilds verified state after a crash.
 
 ``label`` can record telemetry: ``--trace-out`` writes the structured
 event log (JSONL), ``--metrics-out`` the metrics-registry snapshot,
@@ -25,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 from typing import List, Optional
 
 import numpy as np
@@ -236,6 +239,35 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="stop after this many responses (for smoke tests)",
+    )
+    p_serve.add_argument(
+        "--wal-dir",
+        metavar="DIR",
+        help="write-ahead-log directory: log every applied delta before "
+        "acking and checkpoint snapshots there (enables crash recovery)",
+    )
+    p_serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="checkpoint a snapshot (and rotate the WAL) every N "
+        "effective deltas (with --wal-dir; 0 disables)",
+    )
+    p_serve.add_argument(
+        "--fsync-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fsync the WAL every N appends (with --wal-dir; 0 = only "
+        "at checkpoints and shutdown)",
+    )
+    p_serve.add_argument(
+        "--recover",
+        action="store_true",
+        help="rebuild state from --wal-dir (snapshot + WAL replay, "
+        "verified bit-for-bit against from-scratch labeling) instead of "
+        "starting fresh",
     )
     p_serve.add_argument(
         "--trace-out",
@@ -577,15 +609,57 @@ def _cmd_partition(args) -> int:
 
 def _cmd_serve(args) -> int:
     import os
+    import signal
 
-    from repro.service import LabelingServer, LabelingService
+    from repro.errors import DurabilityError
+    from repro.service import LabelingServer, LabelingService, list_state
 
     topo = _topology(args)
     faults = _faults(args, topo.shape) if args.faults else None
     telemetry, finish_telemetry = _telemetry_from_args(args)
-    service = LabelingService(
-        topo, _definition(args), faults=faults, telemetry=telemetry
-    )
+    snapshot_every = args.snapshot_every if args.snapshot_every > 0 else None
+    fsync_every = args.fsync_every if args.fsync_every > 0 else None
+    if args.recover and not args.wal_dir:
+        print("--recover needs --wal-dir")
+        return 2
+    if args.recover:
+        try:
+            service = LabelingService.recover(
+                args.wal_dir,
+                topology=topo,
+                definition=_definition(args),
+                telemetry=telemetry,
+                snapshot_every=snapshot_every,
+                fsync_every=fsync_every,
+            )
+        except DurabilityError as exc:
+            print(f"recovery failed: {exc}")
+            return 1
+        recovery = service.recovery
+        print(
+            f"recovered version {service.version} from {args.wal_dir} "
+            f"(snapshot v{recovery.snapshot_version}, "
+            f"{recovery.replayed} WAL records replayed, "
+            f"{'clean' if recovery.clean else 'unclean'} prior shutdown, "
+            f"verified bit-for-bit)"
+        )
+    else:
+        if args.wal_dir and list_state(args.wal_dir):
+            print(
+                f"{args.wal_dir} already holds durability state; "
+                "pass --recover to replay it or point --wal-dir at a "
+                "fresh directory"
+            )
+            return 2
+        service = LabelingService(
+            topo,
+            _definition(args),
+            faults=faults,
+            telemetry=telemetry,
+            wal_dir=args.wal_dir,
+            snapshot_every=snapshot_every if args.wal_dir else None,
+            fsync_every=fsync_every if args.wal_dir else None,
+        )
     if args.unix and os.path.exists(args.unix):
         os.unlink(args.unix)
     server = LabelingServer(
@@ -597,20 +671,27 @@ def _cmd_serve(args) -> int:
         max_requests=args.max_requests,
     )
     kind = "torus" if topo.wraps else "mesh"
+    durable = f", wal={args.wal_dir}" if args.wal_dir else ""
     print(
         f"serving {args.size}x{args.size} {kind} "
-        f"(definition {args.definition}, {service.engine.num_faults} faults)"
+        f"(definition {args.definition}, {service.engine.num_faults} faults"
+        f"{durable})"
     )
     if args.unix:
         print(f"listening on unix:{server.address}", flush=True)
     else:
         host, port = server.address
         print(f"listening on {host}:{port}", flush=True)
+    # SIGTERM drains gracefully: stop accepting, finish in-flight
+    # requests, fsync the WAL and leave the clean-shutdown marker.
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, lambda *_: server.shutdown())
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         pass
     finally:
+        server.drain(timeout=10.0)
         server.close()
         if args.unix and os.path.exists(args.unix):
             os.unlink(args.unix)

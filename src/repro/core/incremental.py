@@ -59,7 +59,12 @@ from repro.mesh.topology import Mesh2D, Topology
 from repro.obs.telemetry import Telemetry
 from repro.types import BoolGrid, Coord
 
-__all__ = ["BlockEnableCache", "DeltaReport", "IncrementalLabeling"]
+__all__ = [
+    "BlockEnableCache",
+    "DeltaReport",
+    "IncrementalLabeling",
+    "canonical_delta",
+]
 
 #: Delta size above which the phase-1 wave switches from the per-cell
 #: Python frontier to the vectorized sparse kernel.
@@ -117,6 +122,23 @@ class BlockEnableCache:
         return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
 
 
+def canonical_delta(
+    inject: Iterable[Coord] = (),
+    repair: Iterable[Coord] = (),
+) -> Tuple[Tuple[Coord, ...], Tuple[Coord, ...]]:
+    """The canonical (deduplicated, sorted, int-coerced) form of a delta.
+
+    This is the serialization contract between the engine, the service's
+    write-ahead log, and recovery replay: two deltas describing the same
+    fault-set change always canonicalize to identical tuples, so WAL
+    records compare and replay deterministically regardless of the order
+    a caller listed the coordinates in.
+    """
+    inj = tuple(sorted({(int(c[0]), int(c[1])) for c in inject}))
+    rep = tuple(sorted({(int(c[0]), int(c[1])) for c in repair}))
+    return inj, rep
+
+
 @dataclass
 class DeltaReport:
     """What one incremental update cost and changed.
@@ -140,6 +162,35 @@ class DeltaReport:
     cache_hits: int               # per-block solves served from the cache
     cache_misses: int             # per-block solves actually computed
     resynced: bool = False        # torus-only: fell back to a global phase 2
+    version: int = 0              # engine version after this update applied
+
+    @property
+    def effective(self) -> bool:
+        """Whether this update changed the fault set at all."""
+        return bool(self.injected or self.repaired)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-ready view (coordinates sorted, plain ints).
+
+        The service's wire responses and the write-ahead log both use
+        this shape, so a replayed delta serializes bit-identically to
+        the one originally acknowledged.
+        """
+        inj, rep = canonical_delta(self.injected, self.repaired)
+        return {
+            "injected": [list(c) for c in inj],
+            "repaired": [list(c) for c in rep],
+            "rounds_phase1": self.rounds_phase1,
+            "rounds_phase2": self.rounds_phase2,
+            "newly_unsafe": self.newly_unsafe,
+            "newly_safe": self.newly_safe,
+            "newly_disabled": self.newly_disabled,
+            "newly_activated": self.newly_activated,
+            "blocks_changed": self.blocks_changed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "resynced": self.resynced,
+        }
 
 
 class _Block:
@@ -285,6 +336,22 @@ class IncrementalLabeling:
         """Bumped on every update that changed anything."""
         return self._version
 
+    def set_version(self, version: int) -> None:
+        """Rebase the applied-version counter (crash-recovery only).
+
+        A recovered engine is rebuilt by replaying a snapshot plus the
+        WAL tail; the snapshot load is a single bulk injection, so the
+        counter must be rebased to the snapshot's recorded version before
+        the tail replays — each replayed record then lands on exactly the
+        version it was originally acknowledged at, which
+        :mod:`repro.service.recovery` asserts record by record.
+        """
+        if version < self._version:
+            raise ValueError(
+                f"cannot rebase version backwards: {self._version} -> {version}"
+            )
+        self._version = int(version)
+
     @property
     def num_blocks(self) -> int:
         return len(self._blocks)
@@ -414,7 +481,9 @@ class IncrementalLabeling:
         injected = [c for c in inj if not faulty[c]]
         repaired = [c for c in rep if faulty[c]]
         if not injected and not repaired:
-            return DeltaReport((), (), 0, 0, 0, 0, 0, 0, 0, 0, 0)
+            return DeltaReport(
+                (), (), 0, 0, 0, 0, 0, 0, 0, 0, 0, version=self._version
+            )
         hits0, misses0 = self.cache.hits, self.cache.misses
 
         unsafe = self._unsafe
@@ -522,6 +591,7 @@ class IncrementalLabeling:
             cache_hits=self.cache.hits - hits0,
             cache_misses=self.cache.misses - misses0,
             resynced=resynced,
+            version=self._version,
         )
 
     # -- single-cell fast paths -------------------------------------------------
@@ -542,7 +612,9 @@ class IncrementalLabeling:
             self._topology.check((x, y))  # raises TopologyError
         faulty = self._faulty
         if faulty[x, y]:
-            return DeltaReport((), (), 0, 0, 0, 0, 0, 0, 0, 0, 0)
+            return DeltaReport(
+                (), (), 0, 0, 0, 0, 0, 0, 0, 0, 0, version=self._version
+            )
         if not (2 <= x < W - 2 and 2 <= y < H - 2):
             return None
         unsafe = self._unsafe
@@ -558,7 +630,9 @@ class IncrementalLabeling:
         self.cache.hits += 1  # the 1x1 constant, as in _enable_block
         self._version += 1
         self._num_updates += 1
-        return DeltaReport(((x, y),), (), 0, 0, 0, 0, 0, 0, 1, 1, 0)
+        return DeltaReport(
+            ((x, y),), (), 0, 0, 0, 0, 0, 0, 1, 1, 0, version=self._version
+        )
 
     def _try_repair_one(self, c: Coord) -> Optional[DeltaReport]:
         """Repair one isolated fault (a 1x1 block) without the generic
@@ -569,7 +643,9 @@ class IncrementalLabeling:
             self._topology.check((x, y))  # raises TopologyError
         faulty = self._faulty
         if not faulty[x, y]:
-            return DeltaReport((), (), 0, 0, 0, 0, 0, 0, 0, 0, 0)
+            return DeltaReport(
+                (), (), 0, 0, 0, 0, 0, 0, 0, 0, 0, version=self._version
+            )
         bid = int(self._block_id[x, y])
         blk = self._blocks[bid]
         if blk.cells is not None or blk.ex != 1 or blk.ey != 1:
@@ -581,7 +657,9 @@ class IncrementalLabeling:
         del self._blocks[bid]
         self._version += 1
         self._num_updates += 1
-        return DeltaReport((), ((x, y),), 0, 0, 0, 1, 0, 1, 0, 0, 0)
+        return DeltaReport(
+            (), ((x, y),), 0, 0, 0, 1, 0, 1, 0, 0, 0, version=self._version
+        )
 
     # -- phase 1: the frontier wave -------------------------------------------
 

@@ -63,3 +63,18 @@ class ServiceError(ReproError):
     """A labeling-service request is malformed or failed: an unknown op,
     missing/ill-typed request fields, or an error response received by
     the client."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The server shed a request because its in-flight bound was reached.
+
+    Retryable by construction: the request was rejected *before* any
+    state change, so a client may back off and resend the same payload.
+    """
+
+
+class DurabilityError(ReproError):
+    """The write-ahead log or a snapshot is unusable: an unreadable WAL
+    directory, a snapshot whose checksum does not match, a replay that
+    diverges from its recorded versions, or recovered state that fails
+    the bit-for-bit check against from-scratch labeling."""

@@ -76,12 +76,21 @@ EVENT_SCHEMAS: Dict[str, FrozenSet[str]] = {
         {"injected", "repaired", "rounds1", "rounds2", "latency_us"}
     ),
     "service_request": frozenset({"op", "ok", "latency_us"}),
+    # durability (WAL + snapshots + recovery + client retries)
+    "wal_append": frozenset({"version", "bytes", "latency_us"}),
+    "snapshot_write": frozenset({"version", "faults", "bytes", "latency_us"}),
+    "recovery_replay": frozenset(
+        {"snapshot_version", "replayed", "version", "clean", "latency_us"}
+    ),
+    "request_retry": frozenset({"op", "attempt", "reason"}),
     # full-state snapshots routed to RoundTrace sinks
     "snapshot": frozenset({"key"}),
 }
 
 #: Events too chatty for the default level.
-_DEBUG_EVENTS = frozenset({"node_flip", "message_dropped", "message_duplicated"})
+_DEBUG_EVENTS = frozenset(
+    {"node_flip", "message_dropped", "message_duplicated", "wal_append"}
+)
 
 
 def default_level(name: str) -> str:

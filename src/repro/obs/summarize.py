@@ -98,6 +98,15 @@ class TraceSummary:
     #: ``errors``, ``p50``, ``p90``, ``p99`` and ``max``.  Empty when
     #: the trace holds no service events.
     service_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Durability accounting, rebuilt from ``wal_append`` /
+    #: ``snapshot_write`` / ``recovery_replay`` / ``request_retry``
+    #: events of a durable ``repro serve`` run.  ``wal_append`` and
+    #: ``snapshot_write`` entries carry latency percentiles (µs) plus
+    #: total ``bytes``; ``recovery_replay`` carries ``count``,
+    #: ``replayed`` records and how many recoveries found the
+    #: clean-shutdown marker; ``request_retry`` carries the retry
+    #: ``count``.  Empty when the trace holds no durability events.
+    durability: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def run(self, **labels: Any) -> RunReport:
         """The unique run whose labels include ``labels``.
@@ -123,6 +132,10 @@ def summarize_trace(path: str) -> TraceSummary:
     phase_seconds: Dict[str, float] = {}
     request_latencies: Dict[str, List[float]] = {}
     request_errors: TallyCounter = TallyCounter()
+    durable_latencies: Dict[str, List[float]] = {}
+    durable_bytes: TallyCounter = TallyCounter()
+    recoveries: List[Mapping[str, Any]] = []
+    retries = 0
     total = 0
     for lineno, record in _iter_jsonl(path):
         try:
@@ -149,6 +162,19 @@ def summarize_trace(path: str) -> TraceSummary:
             )
             if not fields["ok"]:
                 request_errors[op] += 1
+            continue
+        if name in ("wal_append", "snapshot_write"):
+            fields = record["fields"]
+            durable_latencies.setdefault(name, []).append(
+                float(fields["latency_us"])
+            )
+            durable_bytes[name] += int(fields["bytes"])
+            continue
+        if name == "recovery_replay":
+            recoveries.append(record["fields"])
+            continue
+        if name == "request_retry":
+            retries += 1
             continue
         if name not in ("epoch_end", "run_end"):
             continue
@@ -187,6 +213,21 @@ def summarize_trace(path: str) -> TraceSummary:
         op: latency_percentiles(samples, errors=request_errors[op])
         for op, samples in sorted(request_latencies.items())
     }
+    durability: Dict[str, Dict[str, float]] = {
+        name: {
+            **latency_percentiles(samples),
+            "bytes": float(durable_bytes[name]),
+        }
+        for name, samples in sorted(durable_latencies.items())
+    }
+    if recoveries:
+        durability["recovery_replay"] = {
+            "count": float(len(recoveries)),
+            "replayed": float(sum(int(r["replayed"]) for r in recoveries)),
+            "clean": float(sum(1 for r in recoveries if r["clean"])),
+        }
+    if retries:
+        durability["request_retry"] = {"count": float(retries)}
     return TraceSummary(
         path=path,
         events_total=total,
@@ -194,6 +235,7 @@ def summarize_trace(path: str) -> TraceSummary:
         runs=runs,
         phase_seconds=phase_seconds,
         service_latency=service_latency,
+        durability=durability,
     )
 
 
@@ -267,6 +309,22 @@ def format_summary(summary: TraceSummary) -> str:
                 f"p50={pct['p50']:.1f} p90={pct['p90']:.1f} "
                 f"p99={pct['p99']:.1f} max={pct['max']:.1f}"
             )
+    if summary.durability:
+        lines.append("")
+        lines.append("durability:")
+        for name, entry in summary.durability.items():
+            if "p50" in entry:
+                lines.append(
+                    f"  {name:>18}: n={int(entry['count'])} "
+                    f"p50={entry['p50']:.1f} p99={entry['p99']:.1f} "
+                    f"max={entry['max']:.1f} us, "
+                    f"{int(entry['bytes'])} bytes"
+                )
+            else:
+                parts = " ".join(
+                    f"{k}={int(v)}" for k, v in sorted(entry.items())
+                )
+                lines.append(f"  {name:>18}: {parts}")
     for report in summary.runs:
         lines.append("")
         header = f"run [{report.label()}]"

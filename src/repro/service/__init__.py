@@ -11,20 +11,49 @@ and answering fault deltas without recomputing the world:
   :class:`~repro.core.incremental.IncrementalLabeling` engine.
 * :class:`LabelingServer` / :func:`handle_request` — the NDJSON socket
   front end behind ``repro serve`` (TCP or Unix-domain).
-* :class:`ServiceClient` — the reference client.
+* :class:`ServiceClient` — the reference client: retrying, reconnecting,
+  idempotent (client id + sequence number on every update).
+* :class:`WriteAheadLog` / :class:`SnapshotStore` — the durability
+  artefacts of a WAL directory (``repro serve --wal-dir``).
+* :func:`recover_state` / :meth:`LabelingService.recover` — crash
+  recovery: snapshot + WAL-tail replay, verified bit-for-bit against
+  from-scratch labeling.
+* :class:`ChaosProxy` / :class:`CrashPlan` — seeded fault injection for
+  the wire and the WAL byte stream (the chaos property suite).
 
 Every answer is bit-for-bit the from-scratch fixpoint of the
 accumulated fault set; the property tests in
-``tests/properties/test_incremental_props.py`` pin that invariant.
+``tests/properties/test_incremental_props.py`` pin that invariant, and
+``tests/properties/test_durability_props.py`` extends it across crashes
+and retries.
 """
 
+from repro.service.chaos import ChaosProxy, CrashPlan, SimulatedCrash
 from repro.service.client import ServiceClient
-from repro.service.labeling import LabelingService
+from repro.service.labeling import BatchOutcome, LabelingService
+from repro.service.recovery import ClientState, RecoveredState, recover_state
 from repro.service.server import LabelingServer, handle_request
+from repro.service.wal import (
+    DeltaRecord,
+    SnapshotStore,
+    WriteAheadLog,
+    list_state,
+)
 
 __all__ = [
+    "BatchOutcome",
+    "ChaosProxy",
+    "ClientState",
+    "CrashPlan",
+    "DeltaRecord",
     "LabelingServer",
     "LabelingService",
+    "RecoveredState",
     "ServiceClient",
+    "SimulatedCrash",
+    "SnapshotStore",
+    "WriteAheadLog",
     "handle_request",
+    "list_state",
+    "recover_state",
 ]

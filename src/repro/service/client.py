@@ -6,6 +6,18 @@ convenience methods (:meth:`update`, :meth:`query_nodes`, ...) raise
 :class:`~repro.errors.ServiceError` on an error response; the raw
 :meth:`request` returns whatever the server said.
 
+Delivery semantics: the client retries transport failures (connection
+reset, broken pipe, timeouts, an overloaded server shedding load) with
+exponential backoff and a fresh connection, giving *at-least-once*
+delivery.  Every update carries an idempotency key — a stable client id
+plus a sequence number assigned once per logical update and reused
+verbatim across retries — which the server dedups into *exactly-once
+application*: a retried update that already applied is answered from the
+server's stored outcome, never re-applied.  Responses echo the request's
+``seq``; the client discards responses whose ``seq`` does not match the
+outstanding request, so a duplicated frame on the wire cannot desync the
+request/response pairing.
+
 Used by the service tests and as the reference implementation for
 non-Python clients (the protocol is trivial to speak from anything that
 can write a JSON line to a socket)::
@@ -19,56 +31,225 @@ from __future__ import annotations
 
 import json
 import socket
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+import time
+import uuid
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, ServiceOverloadedError
+from repro.obs.telemetry import Telemetry
 from repro.types import Coord
 
 __all__ = ["ServiceClient"]
 
+#: Transport-level failures worth retrying with a fresh connection.
+_TRANSPORT_ERRORS = (
+    ConnectionResetError,
+    BrokenPipeError,
+    ConnectionRefusedError,
+    socket.timeout,
+    OSError,
+)
+
 
 class ServiceClient:
-    """One connection to a running labeling server."""
+    """One connection to a running labeling server.
 
-    def __init__(self, sock: socket.socket):
+    Parameters
+    ----------
+    sock:
+        An already-connected stream socket.
+    reconnect:
+        Optional zero-argument callable returning a fresh connected
+        socket; enables retry-with-reconnect.  The ``connect_tcp`` /
+        ``connect_unix`` constructors wire this up automatically.
+    client_id:
+        Stable idempotency identity attached (with a per-update sequence
+        number) to every update.  Defaults to a random id per client
+        object.
+    retries:
+        How many times a failed request is retried (0 disables).
+    backoff:
+        Initial retry backoff in seconds; doubles per attempt.
+    telemetry:
+        Optional telemetry; each retry emits a ``request_retry`` event.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        reconnect: Optional[Callable[[], socket.socket]] = None,
+        client_id: Optional[str] = None,
+        retries: int = 3,
+        backoff: float = 0.05,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be non-negative, got {retries}")
         self._sock = sock
         self._rfile = sock.makefile("rb")
+        self._reconnect = reconnect
+        self.client_id = client_id if client_id is not None else uuid.uuid4().hex[:12]
+        self._seq = 0
+        self._retries = retries
+        self._backoff = backoff
+        self._telemetry = telemetry
+        self._last_op: Optional[str] = None
 
     @classmethod
     def connect_tcp(
-        cls, host: str, port: int, timeout: Optional[float] = 10.0
+        cls,
+        host: str,
+        port: int,
+        timeout: Optional[float] = 10.0,
+        **kwargs: Any,
     ) -> "ServiceClient":
-        sock = socket.create_connection((host, port), timeout=timeout)
-        return cls(sock)
+        def dial() -> socket.socket:
+            return socket.create_connection((host, port), timeout=timeout)
+
+        return cls(dial(), reconnect=dial, **kwargs)
 
     @classmethod
     def connect_unix(
-        cls, path: str, timeout: Optional[float] = 10.0
+        cls, path: str, timeout: Optional[float] = 10.0, **kwargs: Any
     ) -> "ServiceClient":
         if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
             raise ServiceError("unix sockets are not supported on this platform")
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        sock.settimeout(timeout)
-        sock.connect(path)
-        return cls(sock)
+
+        def dial() -> socket.socket:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(path)
+            return sock
+
+        return cls(dial(), reconnect=dial, **kwargs)
 
     # -- protocol ---------------------------------------------------------------
 
     def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one request object, return the decoded response object."""
-        self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
-        line = self._rfile.readline()
-        if not line:
-            raise ServiceError("server closed the connection")
-        return json.loads(line)
+        """Send one request object, return the decoded response object.
+
+        One attempt, no retries; transport failures surface as
+        :class:`~repro.errors.ServiceError` naming the op in flight.
+        """
+        op = payload.get("op") if isinstance(payload, dict) else None
+        self._last_op = op if isinstance(op, str) else None
+        try:
+            self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+            return self._read_response(payload)
+        except _TRANSPORT_ERRORS as exc:
+            raise ServiceError(
+                f"connection failed during {op!r}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+    def _read_response(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Read the response matching ``payload``, skipping stale ones.
+
+        A chaos-duplicated request frame produces an extra response; the
+        server echoes ``seq`` on every response to a seq-carrying
+        request, so mismatched responses are provably stale and safe to
+        discard.
+        """
+        want = payload.get("seq") if isinstance(payload, dict) else None
+        while True:
+            line = self._rfile.readline()
+            if not line:
+                raise ServiceError(
+                    f"server closed the connection during {self._last_op!r}"
+                )
+            try:
+                response = json.loads(line)
+            except ValueError as exc:
+                raise ServiceError(
+                    f"malformed response during {self._last_op!r}: {exc}"
+                ) from exc
+            got = response.get("seq") if isinstance(response, dict) else None
+            if want is None:
+                if got is not None:
+                    continue  # stale response to an old duplicated update
+                return response
+            if got == want:
+                return response
+            # got is None or an older seq: stale, keep reading.
+
+    def _renew_connection(self) -> None:
+        if self._reconnect is None:
+            raise ServiceError(
+                f"connection lost during {self._last_op!r} and no "
+                "reconnect path is configured"
+            )
+        try:
+            self.close()
+        except OSError:  # pragma: no cover - best-effort close
+            pass
+        self._sock = self._reconnect()
+        self._rfile = self._sock.makefile("rb")
+
+    def _retrying(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """At-least-once delivery: retry transport failures and shed
+        (overloaded) responses with exponential backoff + reconnect."""
+        op = payload.get("op")
+        delay = self._backoff
+        attempt = 0
+        while True:
+            reason: Optional[str] = None
+            try:
+                response = self.request(payload)
+            except ServiceError as exc:
+                reason = str(exc)
+                if attempt >= self._retries:
+                    raise
+            else:
+                if (
+                    response.get("error_type") == "ServiceOverloadedError"
+                    and attempt < self._retries
+                ):
+                    reason = "overloaded"
+                else:
+                    return response
+            attempt += 1
+            tel = self._telemetry
+            if tel is not None and tel.wants("info"):
+                tel.emit(
+                    "request_retry",
+                    op=op if isinstance(op, str) else "?",
+                    attempt=attempt,
+                    reason=reason or "?",
+                )
+            time.sleep(delay)
+            delay *= 2
+            if reason != "overloaded":
+                try:
+                    self._renew_connection()
+                except _TRANSPORT_ERRORS as exc:
+                    if attempt > self._retries:
+                        raise ServiceError(
+                            f"reconnect failed during {op!r}: "
+                            f"{type(exc).__name__}: {exc}"
+                        ) from exc
+                    # Dead server may come back; burn an attempt waiting.
+                    attempt += 1
+                    time.sleep(delay)
+                    delay *= 2
+                    continue
 
     def _checked(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        response = self.request(payload)
+        response = self._retrying(payload)
         if not response.get("ok"):
-            raise ServiceError(
+            error_type = response.get("error_type")
+            cls = (
+                ServiceOverloadedError
+                if error_type == "ServiceOverloadedError"
+                else ServiceError
+            )
+            raise cls(
                 f"{payload.get('op')}: {response.get('error', 'unknown error')}"
             )
         return response
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
 
     # -- convenience ops --------------------------------------------------------
 
@@ -81,14 +262,46 @@ class ServiceClient:
         inject: Iterable[Coord] = (),
         repair: Iterable[Coord] = (),
     ) -> Dict[str, Any]:
-        """Absorb a fault delta; returns the delta report dict."""
+        """Absorb a fault delta; returns the delta report dict.
+
+        Carries an idempotency key, so a retry after a lost ack cannot
+        double-apply the delta.
+        """
         return self._checked(
             {
                 "op": "update",
                 "inject": [list(c) for c in inject],
                 "repair": [list(c) for c in repair],
+                "client": self.client_id,
+                "seq": self._next_seq(),
             }
         )["delta"]
+
+    def update_batch(
+        self,
+        deltas: Iterable[Tuple[Iterable[Coord], Iterable[Coord]]],
+    ) -> List[Dict[str, Any]]:
+        """Pipeline several ``(inject, repair)`` deltas in one request.
+
+        Returns one delta report dict per entry (each carrying the
+        engine ``version`` after that delta applied).  The whole batch
+        shares one idempotency key: it applies exactly once even across
+        retries.
+        """
+        return self._checked(
+            {
+                "op": "update",
+                "batch": [
+                    {
+                        "inject": [list(c) for c in inj],
+                        "repair": [list(c) for c in rep],
+                    }
+                    for inj, rep in deltas
+                ],
+                "client": self.client_id,
+                "seq": self._next_seq(),
+            }
+        )["deltas"]
 
     def query_nodes(self, coords: Iterable[Coord]) -> List[Dict[str, Any]]:
         """Per-node status for the given coordinates."""
@@ -110,8 +323,16 @@ class ServiceClient:
         return self._checked({"op": "stats"})["stats"]
 
     def shutdown(self) -> None:
-        """Ask the server to stop (acknowledged before it exits)."""
-        self._checked({"op": "shutdown"})
+        """Ask the server to stop (acknowledged before it exits).
+
+        Single attempt: retrying a shutdown against a server that died
+        after honouring it would just fail the reconnect.
+        """
+        response = self.request({"op": "shutdown"})
+        if not response.get("ok"):
+            raise ServiceError(
+                f"shutdown: {response.get('error', 'unknown error')}"
+            )
 
     # -- lifecycle --------------------------------------------------------------
 

@@ -13,6 +13,14 @@ Requests name an ``op``:
 ``update``
     ``{"op": "update", "inject": [[x, y], ...], "repair": [...]}`` —
     absorb a fault delta, return the :class:`DeltaReport` as JSON.
+    ``{"op": "update", "batch": [{"inject": ..., "repair": ...}, ...]}``
+    pipelines several deltas through one request; the response carries
+    ``"deltas"``, one entry (with its post-apply ``"version"``) per
+    delta.  Either form may attach an idempotency key — ``"client"``
+    (string) plus ``"seq"`` (integer, strictly increasing per client) —
+    making retries safe: a replay of the client's current sequence
+    number is answered from the stored outcome (``"duplicate": true``)
+    without re-applying anything.
 ``query``
     ``{"op": "query", "coords": [[x, y], ...]}`` — per-node status, or
     ``{"op": "query", "what": "blocks" | "regions"}`` for geometric
@@ -28,9 +36,21 @@ Requests name an ``op``:
 Every response carries ``"ok"``; failures carry ``"error"`` (the
 exception message) and ``"error_type"`` and never tear down the
 connection — bad requests are part of normal operation for a long-lived
-process.  With telemetry attached, each request emits a
-``service_request`` event (op, outcome, latency), which is what ``repro
-obs summarize`` turns into per-op latency percentiles.
+process.  Responses to requests that carried ``"seq"`` echo it back, so
+a client can discard stale responses after wire-level duplication.  With
+telemetry attached, each request emits a ``service_request`` event (op,
+outcome, latency), which is what ``repro obs summarize`` turns into
+per-op latency percentiles.
+
+Hardening: request lines longer than ``max_frame`` bytes and lines that
+are not valid UTF-8 are answered with a structured error (the oversized
+line is drained, bounded); connections idle past ``conn_timeout`` are
+closed; when more than ``max_inflight`` requests are already queued or
+executing, new ones are shed immediately with a retryable
+``ServiceOverloadedError`` response instead of growing the queue without
+bound.  :meth:`LabelingServer.drain` implements graceful shutdown: stop
+accepting, let in-flight requests finish, then fsync the WAL and write
+the clean-shutdown marker via :meth:`LabelingService.finalize`.
 
 The server is deliberately small: a threading ``socketserver`` with one
 lock around the service (updates are serialized; the engine is not
@@ -41,10 +61,11 @@ share one warm engine instead of each paying a from-scratch labeling.
 from __future__ import annotations
 
 import json
+import socket
 import socketserver
 import threading
 import time
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError, ServiceError
 from repro.obs.telemetry import Telemetry
@@ -73,21 +94,60 @@ def _coord_list(value: Any, field: str) -> list:
     return out
 
 
-def _delta_dict(delta) -> Dict[str, Any]:
-    return {
-        "injected": [list(c) for c in delta.injected],
-        "repaired": [list(c) for c in delta.repaired],
-        "rounds_phase1": delta.rounds_phase1,
-        "rounds_phase2": delta.rounds_phase2,
-        "newly_unsafe": delta.newly_unsafe,
-        "newly_safe": delta.newly_safe,
-        "newly_disabled": delta.newly_disabled,
-        "newly_activated": delta.newly_activated,
-        "blocks_changed": delta.blocks_changed,
-        "cache_hits": delta.cache_hits,
-        "cache_misses": delta.cache_misses,
-        "resynced": delta.resynced,
-    }
+def _idempotency_key(
+    request: Dict[str, Any],
+) -> Tuple[Optional[str], Optional[int]]:
+    client = request.get("client")
+    seq = request.get("seq")
+    if client is not None and not isinstance(client, str):
+        raise ServiceError(f"'client' must be a string, got {client!r}")
+    if seq is not None and (not isinstance(seq, int) or isinstance(seq, bool)):
+        raise ServiceError(f"'seq' must be an integer, got {seq!r}")
+    return client, seq
+
+
+def _update(service: LabelingService, request: Dict[str, Any]) -> Dict[str, Any]:
+    client, seq = _idempotency_key(request)
+    if "batch" in request:
+        batch = request["batch"]
+        if not isinstance(batch, list) or not all(
+            isinstance(item, dict) for item in batch
+        ):
+            raise ServiceError(
+                "'batch' must be a list of {inject, repair} objects"
+            )
+        deltas = [
+            (
+                _coord_list(item.get("inject"), "inject"),
+                _coord_list(item.get("repair"), "repair"),
+            )
+            for item in batch
+        ]
+        outcome = service.apply_batch(deltas, client=client, seq=seq)
+        response = {
+            "ok": True,
+            "version": outcome.version,
+            "deltas": [{**d, "version": v} for d, v in outcome.deltas],
+        }
+    else:
+        outcome = service.apply_batch(
+            [
+                (
+                    _coord_list(request.get("inject"), "inject"),
+                    _coord_list(request.get("repair"), "repair"),
+                )
+            ],
+            client=client,
+            seq=seq,
+        )
+        response = {
+            "ok": True,
+            "version": outcome.version,
+            "delta": outcome.deltas[0][0] if outcome.deltas else {},
+        }
+    if outcome.duplicate:
+        response["duplicate"] = True
+    return response
 
 
 def _query(service: LabelingService, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -152,15 +212,7 @@ def handle_request(
             if op == "ping":
                 response: Dict[str, Any] = {"ok": True, "version": service.version}
             elif op == "update":
-                delta = service.update(
-                    inject=_coord_list(request.get("inject"), "inject"),
-                    repair=_coord_list(request.get("repair"), "repair"),
-                )
-                response = {
-                    "ok": True,
-                    "version": service.version,
-                    "delta": _delta_dict(delta),
-                }
+                response = _update(service, request)
             elif op == "query":
                 response = {"ok": True, **_query(service, request)}
             elif op == "snapshot":
@@ -184,6 +236,8 @@ def handle_request(
             "error": str(exc),
             "error_type": type(exc).__name__,
         }
+    if isinstance(request, dict) and "seq" in request:
+        response["seq"] = request["seq"]
     latency_us = 1e6 * (time.perf_counter() - t0)
     if telemetry is not None and telemetry.wants("info"):
         telemetry.emit(
@@ -195,36 +249,98 @@ def handle_request(
     return response, shutdown
 
 
+def _frame_error(message: str) -> Dict[str, Any]:
+    return {"ok": False, "error": message, "error_type": "ServiceError"}
+
+
 class _Handler(socketserver.StreamRequestHandler):
     """One connection: NDJSON lines in, NDJSON lines out."""
 
     def handle(self) -> None:  # pragma: no cover - exercised via sockets
         server: "LabelingServer" = self.server  # type: ignore[assignment]
-        for line in self.rfile:
-            line = line.strip()
-            if not line:
-                continue
+        if server.conn_timeout is not None:
+            self.connection.settimeout(server.conn_timeout)
+        while True:
             try:
-                request = json.loads(line)
-            except json.JSONDecodeError as exc:
-                response, shutdown = (
-                    {
-                        "ok": False,
-                        "error": f"not JSON: {exc}",
-                        "error_type": "ServiceError",
-                    },
-                    False,
+                line = self.rfile.readline(server.max_frame + 1)
+            except (socket.timeout, OSError, ValueError):
+                return
+            if not line:
+                return  # client closed cleanly
+            if len(line) > server.max_frame and not line.endswith(b"\n"):
+                intact = self._drain_oversized(server.max_frame)
+                response: Dict[str, Any] = _frame_error(
+                    f"request frame exceeds {server.max_frame} bytes"
                 )
+                shutdown = False
+                if not intact:
+                    return  # connection died (or kept flooding) mid-drain
             else:
-                response, shutdown = handle_request(
-                    server.service, request, server.lock, server.telemetry
-                )
-            self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
-            self.wfile.flush()
+                response, shutdown = self._dispatch(server, line)
+                if response is None:
+                    continue  # blank line keep-alive
+            try:
+                self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
+                self.wfile.flush()
+            except OSError:
+                return
             server.count_request()
             if shutdown or server.exhausted():
                 server.request_shutdown()
                 return
+
+    def _dispatch(
+        self, server: "LabelingServer", line: bytes
+    ) -> Tuple[Optional[Dict[str, Any]], bool]:
+        stripped = line.strip()
+        if not stripped:
+            return None, False
+        try:
+            text = stripped.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            return _frame_error(f"request frame is not UTF-8: {exc}"), False
+        try:
+            request = json.loads(text)
+        except json.JSONDecodeError as exc:
+            return _frame_error(f"not JSON: {exc}"), False
+        if server.draining:
+            return _frame_error("server is draining"), False
+        if not server.acquire_slot():
+            response = {
+                "ok": False,
+                "error": (
+                    f"server at max in-flight requests "
+                    f"({server.max_inflight}); retry with backoff"
+                ),
+                "error_type": "ServiceOverloadedError",
+                "retryable": True,
+            }
+            if isinstance(request, dict) and "seq" in request:
+                response["seq"] = request["seq"]
+            return response, False
+        try:
+            return handle_request(
+                server.service, request, server.lock, server.telemetry
+            )
+        finally:
+            server.release_slot()
+
+    def _drain_oversized(self, max_frame: int) -> bool:
+        """Discard the rest of an oversized line, bounded; whether the
+        connection is worth keeping (newline reached within budget)."""
+        budget = 64 * max_frame
+        drained = 0
+        try:
+            while drained <= budget:
+                chunk = self.rfile.readline(1 << 16)
+                if not chunk:
+                    return False
+                drained += len(chunk)
+                if chunk.endswith(b"\n"):
+                    return True
+        except (socket.timeout, OSError, ValueError):
+            return False
+        return False
 
 
 class _TCPServer(socketserver.ThreadingMixIn, socketserver.TCPServer):
@@ -259,6 +375,15 @@ class LabelingServer:
         Stop after this many responses (``None`` = run until
         ``shutdown`` or :meth:`shutdown`).  Lets smoke tests bound the
         process lifetime.
+    max_frame:
+        Per-request line-length bound; longer frames get a structured
+        error instead of unbounded buffering.
+    conn_timeout:
+        Per-connection read deadline in seconds (``None`` disables):
+        a connection idle past it is closed.
+    max_inflight:
+        Bound on requests queued or executing at once; excess requests
+        are shed with a retryable ``ServiceOverloadedError`` response.
     """
 
     def __init__(
@@ -269,11 +394,25 @@ class LabelingServer:
         unix_path: Optional[str] = None,
         telemetry: Optional[Telemetry] = None,
         max_requests: Optional[int] = None,
+        max_frame: int = 1 << 20,
+        conn_timeout: Optional[float] = 60.0,
+        max_inflight: int = 64,
     ):
+        if max_frame < 2:
+            raise ValueError(f"max_frame must be at least 2, got {max_frame}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be positive, got {max_inflight}")
         self.service = service
         self.telemetry = telemetry
         self.lock = threading.Lock()
+        self.max_frame = max_frame
+        self.conn_timeout = conn_timeout
+        self.max_inflight = max_inflight
+        self.draining = False
+        self._slots = threading.BoundedSemaphore(max_inflight)
         self._count_lock = threading.Lock()
+        self._idle = threading.Condition(self._count_lock)
+        self._inflight = 0
         self._requests_served = 0
         self._max_requests = max_requests
         if unix_path is not None:
@@ -284,12 +423,21 @@ class LabelingServer:
         else:
             self._server = _TCPServer((host, port), _Handler)
             self.address = self._server.server_address
-        self._server.service = service  # type: ignore[attr-defined]
-        self._server.lock = self.lock  # type: ignore[attr-defined]
-        self._server.telemetry = telemetry  # type: ignore[attr-defined]
+        for name in (
+            "service",
+            "lock",
+            "telemetry",
+            "max_frame",
+            "conn_timeout",
+            "max_inflight",
+            "draining",
+        ):
+            setattr(self._server, name, getattr(self, name))
         self._server.count_request = self.count_request  # type: ignore[attr-defined]
         self._server.exhausted = self.exhausted  # type: ignore[attr-defined]
         self._server.request_shutdown = self.shutdown  # type: ignore[attr-defined]
+        self._server.acquire_slot = self.acquire_slot  # type: ignore[attr-defined]
+        self._server.release_slot = self.release_slot  # type: ignore[attr-defined]
 
     # -- bookkeeping shared with handlers ---------------------------------------
 
@@ -304,10 +452,30 @@ class LabelingServer:
                 and self._requests_served >= self._max_requests
             )
 
+    def acquire_slot(self) -> bool:
+        """Claim an in-flight slot without blocking; False = shed."""
+        if not self._slots.acquire(blocking=False):
+            return False
+        with self._count_lock:
+            self._inflight += 1
+        return True
+
+    def release_slot(self) -> None:
+        with self._count_lock:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.notify_all()
+        self._slots.release()
+
     @property
     def requests_served(self) -> int:
         with self._count_lock:
             return self._requests_served
+
+    @property
+    def inflight(self) -> int:
+        with self._count_lock:
+            return self._inflight
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -325,6 +493,28 @@ class LabelingServer:
     def shutdown(self) -> None:
         """Stop the serve loop (idempotent, callable from any thread)."""
         threading.Thread(target=self._server.shutdown, daemon=True).start()
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Graceful shutdown: stop accepting, finish in-flight requests,
+        then finalize the service (WAL fsync + clean-shutdown marker).
+
+        New requests arriving on live connections during the drain get a
+        structured ``server is draining`` error.  Returns whether every
+        in-flight request finished within ``timeout``.
+        """
+        self.draining = True
+        self._server.draining = True  # type: ignore[attr-defined]
+        self.shutdown()
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._idle.wait(remaining)
+            drained = self._inflight == 0
+        self.service.finalize()
+        return drained
 
     def close(self) -> None:
         """Release the listening socket."""

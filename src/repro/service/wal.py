@@ -1,0 +1,384 @@
+"""Write-ahead durability for the labeling service.
+
+The serving layer absorbs fault deltas at hundreds of thousands per
+second; a process crash must not lose any delta that was acknowledged to
+a client.  This module provides the two on-disk artefacts that make the
+service crash-safe, both living in one *WAL directory*:
+
+``wal.log``
+    An append-only log of applied deltas.  Each record is length-prefixed
+    and checksummed: a fixed 8-byte header (``<II``: payload length,
+    CRC32 of the payload) followed by the canonical JSON payload.  A
+    crash mid-append leaves a torn record that fails the length or
+    checksum test; replay stops cleanly at the first torn record, which
+    is exactly the at-most-one-unacknowledged-delta tail the recovery
+    proof needs.
+
+``snapshot.json``
+    A periodic checkpoint of the full service state (fault set, engine
+    version, per-client dedup high-water marks), checksummed and written
+    atomically (temp file + fsync + rename), so a crash mid-snapshot
+    can only ever leave the previous snapshot in place.  After a
+    successful snapshot the WAL is rotated; records at or below the
+    snapshot version are skipped on replay, so a crash between the
+    snapshot rename and the rotation is also safe.
+
+``CLEAN``
+    A marker written by graceful shutdown after the final fsync.  Its
+    absence on startup tells recovery the previous process died hard
+    (reported, not required — replay is the same either way).
+
+Durability policy: every append is one ``write(2)`` of the whole record
+(the file is opened unbuffered), so an acknowledged delta survives a
+*process* crash as soon as the ack is sent.  ``fsync_every=N`` adds an
+``fsync(2)`` every N appends for machine-crash durability;
+``fsync_every=None`` (the default) fsyncs only at snapshots, rotation
+and close, which is what keeps the durable path within a small factor of
+the in-memory update rate (see the ``incremental.wal`` benchmark leg).
+
+Chaos hooks: both writers accept a ``crash_hook`` callable invoked at
+named points (``append.pre``, ``append.mid``, ``append.post``,
+``snapshot.mid``, ``snapshot.pre_rename``).  The chaos suite raises
+:class:`~repro.service.chaos.SimulatedCrash` from these hooks to model a
+kill at exactly that byte boundary — ``append.mid`` tears a record in
+half on disk, ``snapshot.mid`` abandons a half-written temp file.  With
+no hook attached every record is written in a single call.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.incremental import canonical_delta
+from repro.errors import DurabilityError
+from repro.types import Coord
+
+__all__ = [
+    "CLEAN_MARKER",
+    "SNAPSHOT_FILE",
+    "WAL_FILE",
+    "DeltaRecord",
+    "SnapshotStore",
+    "WriteAheadLog",
+    "clear_clean_marker",
+    "list_state",
+    "read_clean_marker",
+    "write_clean_marker",
+]
+
+#: On-disk names inside a WAL directory.
+WAL_FILE = "wal.log"
+SNAPSHOT_FILE = "snapshot.json"
+CLEAN_MARKER = "CLEAN"
+
+_HEADER = struct.Struct("<II")  # payload length, CRC32(payload)
+
+#: Reject absurd record lengths during replay so a corrupt header cannot
+#: make the reader attempt a multi-gigabyte allocation.
+_MAX_RECORD = 16 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class DeltaRecord:
+    """One logged delta: the unit of WAL replay.
+
+    ``version`` is the engine version *after* the delta applied — replay
+    asserts each replayed delta lands on exactly this version.
+    ``client``/``seq`` carry the idempotency key of the request that
+    produced the delta (``None`` for anonymous updates); ``batch_index``
+    / ``batch_size`` locate the delta inside a pipelined batch request so
+    recovery only advances a client's dedup high-water mark when the
+    whole batch made it to disk.
+    """
+
+    version: int
+    inject: Tuple[Coord, ...]
+    repair: Tuple[Coord, ...]
+    client: Optional[str] = None
+    seq: Optional[int] = None
+    batch_index: int = 0
+    batch_size: int = 1
+
+    def to_payload(self) -> bytes:
+        # Hand-rolled JSON: byte-identical to compact ``json.dumps`` of
+        # the same dict, but ~4x cheaper — this runs once per acked
+        # delta, squarely on the durable hot path.  Only the client id
+        # needs real escaping.
+        inj, rep = self.inject, self.repair
+        if len(inj) > 1 or len(rep) > 1:
+            inj, rep = canonical_delta(inj, rep)
+        parts = [
+            '{"v":%d,"inject":[%s],"repair":[%s]'
+            % (
+                self.version,
+                ",".join("[%d,%d]" % c for c in inj),
+                ",".join("[%d,%d]" % c for c in rep),
+            )
+        ]
+        if self.client is not None:
+            parts.append(
+                ',"client":%s,"seq":%d' % (json.dumps(self.client), self.seq)
+            )
+            if self.batch_size != 1:
+                parts.append(
+                    ',"batch":[%d,%d]' % (self.batch_index, self.batch_size)
+                )
+        parts.append("}")
+        return "".join(parts).encode("utf-8")
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "DeltaRecord":
+        try:
+            body = json.loads(payload)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise DurabilityError(f"WAL record is not JSON: {exc}") from exc
+        if not isinstance(body, dict) or "v" not in body:
+            raise DurabilityError(f"malformed WAL record: {body!r}")
+        batch = body.get("batch", [0, 1])
+        return cls(
+            version=int(body["v"]),
+            inject=tuple((int(x), int(y)) for x, y in body.get("inject", [])),
+            repair=tuple((int(x), int(y)) for x, y in body.get("repair", [])),
+            client=body.get("client"),
+            seq=None if body.get("seq") is None else int(body["seq"]),
+            batch_index=int(batch[0]),
+            batch_size=int(batch[1]),
+        )
+
+
+class WriteAheadLog:
+    """The append-only, checksummed delta log of one WAL directory."""
+
+    def __init__(
+        self,
+        wal_dir: str,
+        fsync_every: Optional[int] = None,
+        crash_hook: Optional[Callable[[str], None]] = None,
+    ):
+        if fsync_every is not None and fsync_every < 1:
+            raise ValueError(f"fsync_every must be positive, got {fsync_every}")
+        os.makedirs(wal_dir, exist_ok=True)
+        self.wal_dir = wal_dir
+        self.path = os.path.join(wal_dir, WAL_FILE)
+        self._fsync_every = fsync_every
+        self._since_fsync = 0
+        self._crash_hook = crash_hook
+        self.appended = 0
+        self.bytes_written = 0
+        # buffering=0 gives a raw FileIO: one write(2) per append, so an
+        # acked record is in the OS page cache even if the process dies.
+        self._fh = open(self.path, "ab", buffering=0)
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, record: DeltaRecord) -> int:
+        """Durably append one record; returns the bytes written.
+
+        The caller acks the client only after this returns.
+        """
+        payload = record.to_payload()
+        blob = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        hook = self._crash_hook
+        if hook is None:
+            self._fh.write(blob)
+        else:
+            # Split the write so a chaos hook can tear the record on
+            # disk exactly as a mid-append kill would.
+            hook("append.pre")
+            half = len(blob) // 2
+            self._fh.write(blob[:half])
+            hook("append.mid")
+            self._fh.write(blob[half:])
+            hook("append.post")
+        self.appended += 1
+        self.bytes_written += len(blob)
+        if self._fsync_every is not None:
+            self._since_fsync += 1
+            if self._since_fsync >= self._fsync_every:
+                self.fsync()
+        return len(blob)
+
+    def fsync(self) -> None:
+        """Flush the log to stable storage."""
+        os.fsync(self._fh.fileno())
+        self._since_fsync = 0
+
+    def rotate(self) -> None:
+        """Truncate the log (called after a successful snapshot).
+
+        A crash between the snapshot rename and this truncation leaves
+        records at or below the snapshot version in the log; replay
+        skips them by version, so rotation needs no atomicity of its
+        own.
+        """
+        self.fsync()
+        self._fh.close()
+        self._fh = open(self.path, "wb", buffering=0)
+        self._since_fsync = 0
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            try:
+                os.fsync(self._fh.fileno())
+            except OSError:  # pragma: no cover - closed-under-us race
+                pass
+            self._fh.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- replay ----------------------------------------------------------------
+
+    @staticmethod
+    def replay(wal_dir: str) -> Iterator[DeltaRecord]:
+        """Yield every intact record in ``wal_dir``'s log, in order.
+
+        Stops silently at the first torn record (short header, short
+        payload, or checksum mismatch): a torn *tail* is the expected
+        signature of a crash mid-append.  A corrupt record *followed by
+        more intact data* is not a torn tail but real corruption, and
+        raises :class:`~repro.errors.DurabilityError` instead of
+        silently dropping acknowledged deltas.
+        """
+        path = os.path.join(wal_dir, WAL_FILE)
+        if not os.path.exists(path):
+            return
+        with open(path, "rb") as fh:
+            data = fh.read()
+        offset = 0
+        total = len(data)
+        while offset < total:
+            if offset + _HEADER.size > total:
+                break  # torn header at the tail
+            length, crc = _HEADER.unpack_from(data, offset)
+            if length > _MAX_RECORD:
+                raise DurabilityError(
+                    f"{path}: record at byte {offset} claims {length} bytes"
+                )
+            start = offset + _HEADER.size
+            end = start + length
+            if end > total:
+                break  # torn payload at the tail
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                if end < total:
+                    raise DurabilityError(
+                        f"{path}: checksum mismatch at byte {offset} with "
+                        f"{total - end} intact bytes following it"
+                    )
+                break  # torn final record
+            yield DeltaRecord.from_payload(payload)
+            offset = end
+
+
+class SnapshotStore:
+    """Atomic, checksummed snapshot checkpoints of the service state."""
+
+    def __init__(
+        self,
+        wal_dir: str,
+        crash_hook: Optional[Callable[[str], None]] = None,
+    ):
+        os.makedirs(wal_dir, exist_ok=True)
+        self.wal_dir = wal_dir
+        self.path = os.path.join(wal_dir, SNAPSHOT_FILE)
+        self._crash_hook = crash_hook
+
+    def write(self, state: Dict[str, Any]) -> int:
+        """Checkpoint ``state`` atomically; returns the bytes written.
+
+        The payload is ``{"crc": ..., "state": ...}`` where the CRC
+        covers the canonical (sorted-keys) serialization of ``state``.
+        Write goes to a temp file, is fsynced, then renamed over the
+        previous snapshot — a crash at any point leaves either the old
+        or the new snapshot, never a torn one.
+        """
+        body = json.dumps(state, sort_keys=True, separators=(",", ":"))
+        blob = json.dumps(
+            {"crc": zlib.crc32(body.encode("utf-8")), "state": state},
+            sort_keys=True,
+        ).encode("utf-8")
+        tmp = self.path + ".tmp"
+        hook = self._crash_hook
+        with open(tmp, "wb") as fh:
+            if hook is None:
+                fh.write(blob)
+            else:
+                hook("snapshot.pre")
+                half = len(blob) // 2
+                fh.write(blob[:half])
+                fh.flush()
+                hook("snapshot.mid")
+                fh.write(blob[half:])
+            fh.flush()
+            os.fsync(fh.fileno())
+        if hook is not None:
+            hook("snapshot.pre_rename")
+        os.replace(tmp, self.path)
+        return len(blob)
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        """The latest valid snapshot state, or ``None`` when absent.
+
+        Raises :class:`~repro.errors.DurabilityError` when a snapshot
+        exists but is unreadable or fails its checksum — that is real
+        corruption, not a crash signature (writes are atomic).
+        """
+        if not os.path.exists(self.path):
+            return None
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                wrapper = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise DurabilityError(f"unreadable snapshot {self.path}: {exc}") from exc
+        if not isinstance(wrapper, dict) or "state" not in wrapper:
+            raise DurabilityError(f"malformed snapshot {self.path}")
+        state = wrapper["state"]
+        body = json.dumps(state, sort_keys=True, separators=(",", ":"))
+        if zlib.crc32(body.encode("utf-8")) != wrapper.get("crc"):
+            raise DurabilityError(f"snapshot checksum mismatch in {self.path}")
+        return state
+
+
+# -- clean-shutdown marker ------------------------------------------------------
+
+
+def write_clean_marker(wal_dir: str) -> None:
+    """Record that the service drained and fsynced before exiting."""
+    path = os.path.join(wal_dir, CLEAN_MARKER)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("clean\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def read_clean_marker(wal_dir: str) -> bool:
+    return os.path.exists(os.path.join(wal_dir, CLEAN_MARKER))
+
+
+def clear_clean_marker(wal_dir: str) -> None:
+    """Remove the marker when a process takes ownership of the WAL dir."""
+    path = os.path.join(wal_dir, CLEAN_MARKER)
+    if os.path.exists(path):
+        os.unlink(path)
+
+
+def list_state(wal_dir: str) -> List[str]:
+    """The durability artefacts present in ``wal_dir`` (for CLI guards)."""
+    if not os.path.isdir(wal_dir):
+        return []
+    known = {WAL_FILE, SNAPSHOT_FILE, CLEAN_MARKER}
+    present = [n for n in sorted(os.listdir(wal_dir)) if n in known]
+    # An empty WAL with no snapshot is a fresh directory.
+    wal_path = os.path.join(wal_dir, WAL_FILE)
+    if present == [WAL_FILE] and os.path.getsize(wal_path) == 0:
+        return []
+    return present

@@ -102,6 +102,69 @@ class TestHandleRequest:
         handle_request(service, {"op": "update", "inject": [[99, 0]]})
         assert service.verify_against_scratch()
 
+    def test_batch_update_returns_per_delta_versions(self, service):
+        response, _ = handle_request(
+            service,
+            {
+                "op": "update",
+                "batch": [
+                    {"inject": [[10, 10]]},
+                    {"inject": [[11, 11]]},
+                    {"repair": [[10, 10]]},
+                ],
+            },
+        )
+        assert response["ok"]
+        assert [d["version"] for d in response["deltas"]] == [2, 3, 4]
+        assert response["deltas"][0]["injected"] == [[10, 10]]
+        assert response["deltas"][2]["repaired"] == [[10, 10]]
+        assert response["version"] == 4
+        assert json.loads(json.dumps(response)) == response
+
+    def test_empty_batch_is_a_noop(self, service):
+        response, _ = handle_request(service, {"op": "update", "batch": []})
+        assert response["ok"] and response["deltas"] == []
+        assert response["version"] == 1
+
+    def test_malformed_batch_rejected(self, service):
+        response, _ = handle_request(
+            service, {"op": "update", "batch": [17]}
+        )
+        assert response["ok"] is False
+        assert response["error_type"] == "ServiceError"
+
+    def test_idempotency_key_dedups(self, service):
+        request = {
+            "op": "update", "inject": [[9, 9]], "client": "c", "seq": 1,
+        }
+        first, _ = handle_request(service, request)
+        second, _ = handle_request(service, request)
+        assert second["duplicate"] is True
+        assert second["version"] == first["version"]
+        assert second["delta"] == first["delta"]
+        assert service.version == first["version"]
+
+    def test_seq_echoed_even_on_errors(self, service):
+        response, _ = handle_request(
+            service, {"op": "nope", "client": "c", "seq": 5}
+        )
+        assert response["ok"] is False
+        assert response["seq"] == 5
+
+    @pytest.mark.parametrize(
+        "request_obj",
+        [
+            {"op": "update", "client": 7, "seq": 1},
+            {"op": "update", "client": "c", "seq": "one"},
+            {"op": "update", "client": "c", "seq": True},
+            {"op": "update", "client": "c"},  # seq missing
+        ],
+    )
+    def test_bad_idempotency_key_rejected(self, service, request_obj):
+        response, _ = handle_request(service, request_obj)
+        assert response["ok"] is False
+        assert response["error_type"] == "ServiceError"
+
     def test_request_events_are_emitted(self, service, tmp_path):
         trace = tmp_path / "requests.jsonl"
         telemetry = Telemetry(sinks=[JSONLSink(str(trace))])
@@ -228,3 +291,189 @@ class TestSocketRoundTrips:
         _with_server(server, talk)
         assert service.verify_against_scratch()
         assert service.engine.num_faults == len(FAULTS)
+
+    def test_batch_round_trip(self, service):
+        server = LabelingServer(service)
+        host, port = server.address
+
+        def talk():
+            with ServiceClient.connect_tcp(host, port) as client:
+                deltas = client.update_batch(
+                    [([(10, 10)], []), ([(11, 11)], []), ([], [(10, 10)])]
+                )
+                assert len(deltas) == 3
+                assert deltas[-1]["version"] == service.version
+
+        _with_server(server, talk)
+        assert service.verify_against_scratch()
+
+
+class TestServerHardening:
+    def test_oversized_frame_gets_structured_error(self, service):
+        server = LabelingServer(service, max_frame=256)
+        host, port = server.address
+
+        def talk():
+            sock = socket_module.create_connection((host, port), timeout=5)
+            try:
+                rfile = sock.makefile("rb")
+                sock.sendall(b'{"op": "ping", "pad": "' + b"x" * 600 + b'"}\n')
+                response = json.loads(rfile.readline())
+                assert response["ok"] is False
+                assert "exceeds" in response["error"]
+                assert response["error_type"] == "ServiceError"
+                # The connection survives: the oversized line was drained.
+                sock.sendall(b'{"op": "ping"}\n')
+                assert json.loads(rfile.readline())["ok"] is True
+            finally:
+                sock.close()
+
+        _with_server(server, talk)
+
+    def test_non_utf8_frame_gets_structured_error(self, service):
+        server = LabelingServer(service)
+        host, port = server.address
+
+        def talk():
+            sock = socket_module.create_connection((host, port), timeout=5)
+            try:
+                rfile = sock.makefile("rb")
+                sock.sendall(b'{"op": "ping", "x": "\xff\xfe"}\n')
+                response = json.loads(rfile.readline())
+                assert response["ok"] is False
+                assert "not UTF-8" in response["error"]
+                # The connection thread survived the bad frame.
+                sock.sendall(b'{"op": "ping"}\n')
+                assert json.loads(rfile.readline())["ok"] is True
+            finally:
+                sock.close()
+
+        _with_server(server, talk)
+
+    def test_conn_timeout_reaps_idle_connections(self, service):
+        server = LabelingServer(service, conn_timeout=0.2)
+        host, port = server.address
+
+        def talk():
+            sock = socket_module.create_connection((host, port), timeout=5)
+            try:
+                # Say nothing; the server must hang up on its own.
+                line = sock.makefile("rb").readline()
+                assert line == b""
+            finally:
+                sock.close()
+
+        _with_server(server, talk)
+
+    def test_overload_sheds_with_retryable_error(self, service):
+        server = LabelingServer(service, max_inflight=1)
+        host, port = server.address
+        thread = server.serve_in_thread()
+        release = threading.Event()
+        entered = threading.Event()
+        original_apply = service.apply_batch
+
+        def slow_apply(*args, **kwargs):
+            entered.set()
+            release.wait(timeout=10)
+            return original_apply(*args, **kwargs)
+
+        service.apply_batch = slow_apply
+        try:
+            blocker = ServiceClient.connect_tcp(host, port, retries=0)
+            prober = ServiceClient.connect_tcp(host, port, retries=0)
+            slow = threading.Thread(
+                target=lambda: blocker.request(
+                    {"op": "update", "inject": [[12, 12]]}
+                ),
+                daemon=True,
+            )
+            slow.start()
+            assert entered.wait(timeout=5)
+            response = prober.request({"op": "ping"})
+            assert response["ok"] is False
+            assert response["error_type"] == "ServiceOverloadedError"
+            assert response["retryable"] is True
+            release.set()
+            slow.join(timeout=5)
+            assert prober.ping() >= 1  # slot freed, service healthy again
+            blocker.close()
+            prober.close()
+        finally:
+            service.apply_batch = original_apply
+            release.set()
+            server.shutdown()
+            thread.join(timeout=5)
+            server.close()
+
+    def test_shutdown_update_race_never_yields_partial_frames(self, service):
+        """Satellite: concurrent updates + shutdown — every client gets a
+        complete JSON response or a clean connection-closed EOF."""
+        server = LabelingServer(service)
+        host, port = server.address
+        thread = server.serve_in_thread()
+        failures = []
+        barrier = threading.Barrier(6)
+
+        def updater(i):
+            try:
+                barrier.wait(timeout=5)
+                sock = socket_module.create_connection((host, port), timeout=5)
+                rfile = sock.makefile("rb")
+                for n in range(20):
+                    sock.sendall(
+                        json.dumps(
+                            {"op": "update", "inject": [[8 + i, 8 + n % 4]],
+                             "repair": []}
+                        ).encode() + b"\n"
+                    )
+                    line = rfile.readline()
+                    if line == b"":
+                        return  # clean close: fine during shutdown
+                    # Any returned line must be one complete JSON object.
+                    response = json.loads(line)
+                    assert "ok" in response
+                sock.close()
+            except (ConnectionError, OSError):
+                pass  # clean connection-level close: acceptable
+            except Exception as exc:  # pragma: no cover - failure detail
+                failures.append(exc)
+
+        def stopper():
+            try:
+                barrier.wait(timeout=5)
+                with ServiceClient.connect_tcp(host, port, retries=0) as c:
+                    c.shutdown()
+            except Exception:
+                pass
+
+        threads = [
+            threading.Thread(target=updater, args=(i,)) for i in range(5)
+        ] + [threading.Thread(target=stopper)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=15)
+        thread.join(timeout=5)
+        server.close()
+        assert not failures
+        assert service.verify_against_scratch()
+
+    def test_drain_finalizes_durable_service(self, tmp_path):
+        from repro.service import list_state
+        from repro.service.wal import read_clean_marker
+
+        durable = LabelingService(
+            Mesh2D(16, 16), wal_dir=str(tmp_path), snapshot_every=2
+        )
+        server = LabelingServer(durable)
+        host, port = server.address
+        thread = server.serve_in_thread()
+        with ServiceClient.connect_tcp(host, port) as client:
+            client.update(inject=[(5, 5)])
+            client.update(inject=[(6, 6)])
+        assert server.drain(timeout=5)
+        server.close()
+        thread.join(timeout=5)
+        assert read_clean_marker(str(tmp_path))
+        assert "snapshot.json" in list_state(str(tmp_path))

@@ -1,0 +1,221 @@
+"""The write-ahead log and snapshot store: framing, torn tails, atomicity.
+
+Each WAL record is length-prefixed and CRC-checksummed; these tests pin
+the replay semantics the recovery proof leans on — a torn *tail* is
+silently discarded (it was never acknowledged), corruption *followed by
+intact data* is a loud :class:`DurabilityError`, and snapshots are
+atomic (a crash mid-write leaves the previous snapshot untouched).
+"""
+
+import json
+import os
+import struct
+
+import pytest
+
+from repro.errors import DurabilityError
+from repro.service import CrashPlan, DeltaRecord, SimulatedCrash
+from repro.service.wal import (
+    CLEAN_MARKER,
+    SNAPSHOT_FILE,
+    WAL_FILE,
+    SnapshotStore,
+    WriteAheadLog,
+    clear_clean_marker,
+    list_state,
+    read_clean_marker,
+    write_clean_marker,
+)
+
+
+def _records(n, start_version=1):
+    return [
+        DeltaRecord(version=start_version + i, inject=((i, i),), repair=())
+        for i in range(n)
+    ]
+
+
+class TestDeltaRecord:
+    def test_payload_round_trip(self):
+        record = DeltaRecord(
+            version=7,
+            inject=((3, 4), (1, 2)),
+            repair=((5, 5),),
+            client="c-1",
+            seq=12,
+            batch_index=1,
+            batch_size=3,
+        )
+        again = DeltaRecord.from_payload(record.to_payload())
+        assert again.version == 7
+        assert again.inject == ((1, 2), (3, 4))  # canonicalized order
+        assert again.repair == ((5, 5),)
+        assert (again.client, again.seq) == ("c-1", 12)
+        assert (again.batch_index, again.batch_size) == (1, 3)
+
+    def test_anonymous_record_omits_idempotency_key(self):
+        payload = DeltaRecord(version=1, inject=((0, 0),), repair=()).to_payload()
+        body = json.loads(payload)
+        assert "client" not in body and "seq" not in body and "batch" not in body
+
+    def test_malformed_payloads_raise(self):
+        with pytest.raises(DurabilityError):
+            DeltaRecord.from_payload(b"\xff\xfe not json")
+        with pytest.raises(DurabilityError):
+            DeltaRecord.from_payload(b'{"no_version": true}')
+
+
+class TestWriteAheadLog:
+    def test_append_replay_round_trip(self, tmp_path):
+        d = str(tmp_path)
+        with WriteAheadLog(d) as wal:
+            for record in _records(5):
+                wal.append(record)
+            assert wal.appended == 5
+            assert wal.bytes_written > 0
+        replayed = list(WriteAheadLog.replay(d))
+        assert [r.version for r in replayed] == [1, 2, 3, 4, 5]
+        assert replayed[2].inject == ((2, 2),)
+
+    def test_replay_of_missing_or_empty_log(self, tmp_path):
+        d = str(tmp_path)
+        assert list(WriteAheadLog.replay(d)) == []
+        WriteAheadLog(d).close()
+        assert list(WriteAheadLog.replay(d)) == []
+
+    @pytest.mark.parametrize("cut", [1, 4, 7, 9])
+    def test_torn_tail_is_dropped_silently(self, tmp_path, cut):
+        d = str(tmp_path)
+        with WriteAheadLog(d) as wal:
+            for record in _records(3):
+                wal.append(record)
+        path = os.path.join(d, WAL_FILE)
+        data = open(path, "rb").read()
+        # Cut somewhere inside the final record (header or payload).
+        open(path, "wb").write(data[: len(data) - cut])
+        replayed = list(WriteAheadLog.replay(d))
+        assert [r.version for r in replayed] == [1, 2]
+
+    def test_corruption_mid_log_raises(self, tmp_path):
+        d = str(tmp_path)
+        with WriteAheadLog(d) as wal:
+            for record in _records(3):
+                wal.append(record)
+        path = os.path.join(d, WAL_FILE)
+        data = bytearray(open(path, "rb").read())
+        data[12] ^= 0xFF  # flip a byte inside the first record's payload
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(DurabilityError, match="checksum mismatch"):
+            list(WriteAheadLog.replay(d))
+
+    def test_absurd_length_header_raises(self, tmp_path):
+        d = str(tmp_path)
+        path = os.path.join(d, WAL_FILE)
+        open(path, "wb").write(struct.pack("<II", 1 << 30, 0) + b"x" * 64)
+        with pytest.raises(DurabilityError, match="claims"):
+            list(WriteAheadLog.replay(d))
+
+    def test_rotate_truncates(self, tmp_path):
+        d = str(tmp_path)
+        with WriteAheadLog(d) as wal:
+            for record in _records(3):
+                wal.append(record)
+            wal.rotate()
+            wal.append(DeltaRecord(version=9, inject=((8, 8),), repair=()))
+        replayed = list(WriteAheadLog.replay(d))
+        assert [r.version for r in replayed] == [9]
+
+    def test_fsync_every_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(str(tmp_path), fsync_every=0)
+        wal = WriteAheadLog(str(tmp_path), fsync_every=2)
+        for record in _records(5):
+            wal.append(record)
+        wal.close()
+        assert len(list(WriteAheadLog.replay(str(tmp_path)))) == 5
+
+    def test_crash_mid_append_tears_the_record(self, tmp_path):
+        d = str(tmp_path)
+        plan = CrashPlan("append.mid", occurrence=3)
+        wal = WriteAheadLog(d, crash_hook=plan)
+        wal.append(_records(1)[0])
+        wal.append(_records(2)[1])
+        with pytest.raises(SimulatedCrash):
+            wal.append(_records(3)[2])
+        wal.close()
+        # The torn third record is on disk but fails its checksum.
+        size = os.path.getsize(os.path.join(d, WAL_FILE))
+        assert size > 0
+        assert [r.version for r in WriteAheadLog.replay(d)] == [1, 2]
+
+
+class TestSnapshotStore:
+    STATE = {"version": 3, "faults": [[1, 2], [3, 4]], "clients": {}}
+
+    def test_write_load_round_trip(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        nbytes = store.write(self.STATE)
+        assert nbytes > 0
+        assert store.load() == self.STATE
+
+    def test_load_absent_returns_none(self, tmp_path):
+        assert SnapshotStore(str(tmp_path)).load() is None
+
+    def test_checksum_mismatch_raises(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        store.write(self.STATE)
+        path = os.path.join(str(tmp_path), SNAPSHOT_FILE)
+        wrapper = json.load(open(path))
+        wrapper["state"]["version"] = 999  # tamper without fixing the CRC
+        json.dump(wrapper, open(path, "w"))
+        with pytest.raises(DurabilityError, match="checksum"):
+            store.load()
+
+    def test_garbage_snapshot_raises(self, tmp_path):
+        path = os.path.join(str(tmp_path), SNAPSHOT_FILE)
+        open(path, "w").write("not json at all")
+        with pytest.raises(DurabilityError, match="unreadable"):
+            SnapshotStore(str(tmp_path)).load()
+
+    @pytest.mark.parametrize("point", ["snapshot.pre", "snapshot.mid"])
+    def test_crash_mid_write_keeps_previous_snapshot(self, tmp_path, point):
+        d = str(tmp_path)
+        store = SnapshotStore(d)
+        store.write(self.STATE)
+        crashing = SnapshotStore(d, crash_hook=CrashPlan(point))
+        with pytest.raises(SimulatedCrash):
+            crashing.write({"version": 99, "faults": [], "clients": {}})
+        assert store.load() == self.STATE  # old snapshot intact
+
+    def test_crash_before_rename_keeps_previous_snapshot(self, tmp_path):
+        d = str(tmp_path)
+        store = SnapshotStore(d)
+        store.write(self.STATE)
+        crashing = SnapshotStore(d, crash_hook=CrashPlan("snapshot.pre_rename"))
+        with pytest.raises(SimulatedCrash):
+            crashing.write({"version": 99, "faults": [], "clients": {}})
+        assert store.load() == self.STATE
+
+
+class TestMarkersAndListing:
+    def test_clean_marker_round_trip(self, tmp_path):
+        d = str(tmp_path)
+        assert not read_clean_marker(d)
+        write_clean_marker(d)
+        assert read_clean_marker(d)
+        clear_clean_marker(d)
+        assert not read_clean_marker(d)
+        clear_clean_marker(d)  # idempotent
+
+    def test_list_state(self, tmp_path):
+        d = str(tmp_path)
+        assert list_state(d) == []
+        wal = WriteAheadLog(d)
+        assert list_state(d) == []  # empty log = fresh directory
+        wal.append(_records(1)[0])
+        wal.close()
+        assert list_state(d) == [WAL_FILE]
+        SnapshotStore(d).write({"version": 1})
+        write_clean_marker(d)
+        assert list_state(d) == [CLEAN_MARKER, SNAPSHOT_FILE, WAL_FILE]
+        assert list_state(str(tmp_path / "nope")) == []

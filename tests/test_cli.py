@@ -265,6 +265,98 @@ class TestServeCommand:
         assert result["rc"] == 0
         assert not os.path.exists(path)  # socket file cleaned up
 
+    def _wait_for_address(self, capsys, collected=None):
+        import time
+
+        host = port = None
+        lines = collected if collected is not None else []
+        for _ in range(200):
+            out = capsys.readouterr().out
+            lines.extend(out.splitlines())
+            for line in lines:
+                if line.startswith("listening on "):
+                    addr = line.split()[-1]
+                    host, port = addr.rsplit(":", 1)
+            if host is not None:
+                return host, int(port)
+            time.sleep(0.05)
+        raise AssertionError("server never printed its address")
+
+    def test_serve_durable_then_recover(self, tmp_path, capsys):
+        from repro.service import ServiceClient
+
+        wal_dir = str(tmp_path / "wal")
+        base = [
+            "serve", "--size", "16", "--port", "0",
+            "--wal-dir", wal_dir, "--snapshot-every", "2",
+        ]
+        thread, result = self._serve_thread(base + ["--max-requests", "3"])
+        host, port = self._wait_for_address(capsys)
+        with ServiceClient.connect_tcp(host, port) as client:
+            client.update(inject=[(3, 3)])
+            client.update(inject=[(7, 7)])
+            client.update(repair=[(3, 3)])
+        thread.join(timeout=10)
+        assert result["rc"] == 0
+
+        # Restart over the same WAL directory: recovery replays the
+        # snapshot + tail, verifies bit-for-bit, and keeps serving.
+        thread, result = self._serve_thread(
+            base + ["--recover", "--max-requests", "2"]
+        )
+        lines = []
+        host, port = self._wait_for_address(capsys, lines)
+        banner = [l for l in lines if l.startswith("recovered version ")]
+        assert banner and "verified bit-for-bit" in banner[0]
+        with ServiceClient.connect_tcp(host, port) as client:
+            assert client.query_nodes([(7, 7)])[0]["status"] == "faulty"
+            assert client.query_nodes([(3, 3)])[0]["status"] != "faulty"
+        thread.join(timeout=10)
+        assert result["rc"] == 0
+
+    def test_serve_refuses_stale_wal_dir_without_recover(
+        self, tmp_path, capsys
+    ):
+        from repro.core.status import SafetyDefinition
+        from repro.mesh import Mesh2D
+        from repro.service import LabelingService
+
+        wal_dir = str(tmp_path / "wal")
+        svc = LabelingService(Mesh2D(16, 16), wal_dir=wal_dir)
+        svc.update(inject=[(1, 1)])
+        svc.finalize()
+        rc = main(
+            ["serve", "--size", "16", "--port", "0", "--wal-dir", wal_dir]
+        )
+        out = capsys.readouterr().out
+        assert rc == 2
+        assert "already holds durability state" in out
+
+    def test_recover_requires_wal_dir(self, capsys):
+        rc = main(["serve", "--size", "16", "--port", "0", "--recover"])
+        assert rc == 2
+        assert "--recover needs --wal-dir" in capsys.readouterr().out
+
+    def test_recover_wrong_topology_fails_loud(self, tmp_path, capsys):
+        from repro.mesh import Mesh2D
+        from repro.service import LabelingService
+
+        wal_dir = str(tmp_path / "wal")
+        svc = LabelingService(
+            Mesh2D(16, 16), wal_dir=wal_dir, snapshot_every=1
+        )
+        svc.update(inject=[(1, 1)])
+        svc.finalize()
+        rc = main(
+            [
+                "serve", "--size", "32", "--port", "0",
+                "--wal-dir", wal_dir, "--recover",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "recovery failed" in out
+
 
 class TestObsCommand:
     def _traced(self, tmp_path):
