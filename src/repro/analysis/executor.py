@@ -44,6 +44,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.obs.telemetry import Telemetry
+
 __all__ = [
     "ExecutionReport",
     "WarmPoolRegistry",
@@ -139,6 +141,31 @@ def _run_chunk(payload):
     return [cell_fn(cell) for cell in cells]
 
 
+def _progress_meters(
+    telemetry: Optional[Telemetry], n: int
+) -> Optional[Callable[[int], None]]:
+    """A live-progress callback over the telemetry's registry, or
+    ``None`` without one.
+
+    The executor advances an ``executor_cells_done`` counter and drains
+    an ``executor_cells_pending`` gauge *as chunks finish*, so an admin
+    endpoint (:class:`repro.obs.exposition.AdminServer`) scraping the
+    same registry watches a long sweep move instead of seeing totals
+    appear only at the end.
+    """
+    if telemetry is None or telemetry.metrics is None:
+        return None
+    done = telemetry.counter("executor_cells_done")
+    pending = telemetry.gauge("executor_cells_pending")
+    pending.inc(n)
+
+    def advance(k: int) -> None:
+        done.inc(k)
+        pending.dec(k)
+
+    return advance
+
+
 def run_cells(
     cell_fn: Callable[[object], object],
     tasks: Sequence[object],
@@ -146,6 +173,7 @@ def run_cells(
     broken_marker: Optional[Callable[[], object]] = None,
     chunk_size: Optional[int] = None,
     registry: Optional[WarmPoolRegistry] = None,
+    telemetry: Optional[Telemetry] = None,
 ):
     """Evaluate ``cell_fn`` over ``tasks``, amortizing pool costs.
 
@@ -169,6 +197,11 @@ def run_cells(
     registry:
         Warm-pool registry; defaults to the process-wide
         :data:`shared_pools`.
+    telemetry:
+        Optional; with a metrics registry attached the executor keeps
+        live ``executor_cells_done`` / ``executor_cells_pending``
+        series updated per finished chunk, scrapeable through an
+        in-process admin endpoint while the sweep runs.
 
     Returns
     -------
@@ -179,8 +212,16 @@ def run_cells(
     """
     pools = shared_pools if registry is None else registry
     n = len(tasks)
+    advance = _progress_meters(telemetry, n)
     if n == 0 or jobs <= 1:
-        return [cell_fn(t) for t in tasks], ExecutionReport(
+        if advance is None:
+            rows = [cell_fn(t) for t in tasks]
+        else:
+            rows = []
+            for t in tasks:
+                rows.append(cell_fn(t))
+                advance(1)
+        return rows, ExecutionReport(
             cells=n,
             jobs=jobs,
             parallel=False,
@@ -193,7 +234,7 @@ def run_cells(
     if chunk_size is not None:
         chunk = max(1, int(chunk_size))
         rows = _map_chunked(
-            cell_fn, list(tasks), jobs, chunk, broken_marker, pools
+            cell_fn, list(tasks), jobs, chunk, broken_marker, pools, advance
         )
         return rows, ExecutionReport(
             cells=n,
@@ -210,6 +251,8 @@ def run_cells(
     t0 = time.perf_counter()
     first = cell_fn(tasks[0])
     per_cell = time.perf_counter() - t0
+    if advance is not None:
+        advance(1)
 
     rest = list(tasks[1:])
     chunk = _chunk_size(per_cell, len(rest), jobs)
@@ -224,10 +267,15 @@ def run_cells(
 
     if parallel:
         rows = [first] + _map_chunked(
-            cell_fn, rest, jobs, chunk, broken_marker, pools
+            cell_fn, rest, jobs, chunk, broken_marker, pools, advance
         )
     else:
-        rows = [first] + [cell_fn(t) for t in rest]
+        serial_rest = []
+        for t in rest:
+            serial_rest.append(cell_fn(t))
+            if advance is not None:
+                advance(1)
+        rows = [first] + serial_rest
     return rows, ExecutionReport(
         cells=n,
         jobs=jobs,
@@ -258,6 +306,7 @@ def _map_chunked(
     chunk: int,
     broken_marker: Optional[Callable[[], object]],
     pools: WarmPoolRegistry,
+    advance: Optional[Callable[[int], None]] = None,
 ) -> List[object]:
     """Ordered chunked map on a warm pool, surviving worker crashes.
 
@@ -282,6 +331,8 @@ def _map_chunked(
             ]
             for chunk_rows in pool.map(_run_chunk, payloads):
                 rows.extend(chunk_rows)
+                if advance is not None:
+                    advance(len(chunk_rows))
         except BrokenProcessPool:
             pools.discard(jobs)
             pos = len(rows)
@@ -292,10 +343,15 @@ def _map_chunked(
                 raise
             if chunk == 1:
                 rows.append(broken_marker())
+                if advance is not None:
+                    advance(1)
             else:
                 # Isolate the poison cell(s) inside the failing chunk.
+                # The recursive call reports its own progress.
                 failing = tasks[pos : pos + chunk]
                 rows.extend(
-                    _map_chunked(cell_fn, failing, jobs, 1, broken_marker, pools)
+                    _map_chunked(
+                        cell_fn, failing, jobs, 1, broken_marker, pools, advance
+                    )
                 )
     return rows

@@ -127,7 +127,11 @@ def sweep(
     metrics, or the captured :class:`CellFailure` error when the metric
     function raised.  Events are emitted during the deterministic
     aggregation pass in the parent process, so a traced parallel sweep
-    logs in exactly the serial (value, trial) order.
+    logs in exactly the serial (value, trial) order.  With a metrics
+    registry attached, the executor additionally keeps live
+    ``executor_cells_done`` / ``executor_cells_pending`` series updated
+    while the sweep runs — scrapeable through an in-process
+    :class:`repro.obs.exposition.AdminServer` over the same registry.
     """
     if trials < 1:
         raise ValueError(f"need at least one trial, got {trials}")
@@ -156,6 +160,7 @@ def sweep(
                     jobs,
                     broken_marker=_broken_cell,
                     chunk_size=chunk_size,
+                    telemetry=tel,
                 )
         else:
             rows, plan = run_cells(
@@ -164,6 +169,7 @@ def sweep(
                 jobs,
                 broken_marker=_broken_cell,
                 chunk_size=chunk_size,
+                telemetry=tel,
             )
         if events_on:
             tel.emit(

@@ -8,11 +8,16 @@ Exposes the library's main workflows without writing any Python:
 * ``route``     — compare routing under the block and region models;
 * ``density``   — the fault-density / percolation study;
 * ``partition`` — run the open-problem cover heuristics on random faults;
-* ``obs``       — validate and summarize telemetry artefacts;
+* ``obs``       — validate and summarize telemetry artefacts, compare
+  two run artifacts for regressions (``obs compare``), and stitch
+  client/server Chrome traces onto one timeline (``obs stitch``);
 * ``serve``     — run the incremental relabeling service behind an
   NDJSON socket (TCP or Unix-domain), answering fault deltas online;
   ``--wal-dir`` makes it crash-safe (write-ahead log + snapshot
-  checkpoints) and ``--recover`` rebuilds verified state after a crash.
+  checkpoints), ``--recover`` rebuilds verified state after a crash,
+  and ``--admin-port`` serves the live observability plane
+  (``/metrics`` Prometheus text, ``/healthz``, ``/readyz`` gated on
+  verified recovery, ``/varz`` service stats).
 
 ``label`` can record telemetry: ``--trace-out`` writes the structured
 event log (JSONL), ``--metrics-out`` the metrics-registry snapshot,
@@ -290,6 +295,28 @@ def build_parser() -> argparse.ArgumentParser:
         default="info",
         help="event severity kept in --trace-out",
     )
+    p_serve.add_argument(
+        "--flush-every",
+        type=int,
+        default=64,
+        metavar="N",
+        help="flush --trace-out every N events so the log stays "
+        "readable while the server runs (0 = flush only at shutdown)",
+    )
+    p_serve.add_argument(
+        "--admin-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the observability admin endpoint (/metrics /healthz "
+        "/readyz /varz) on this port (0 picks an ephemeral port, "
+        "printed on start); omitted = no admin plane",
+    )
+    p_serve.add_argument(
+        "--admin-host",
+        default="127.0.0.1",
+        help="admin endpoint bind host",
+    )
 
     p_obs = sub.add_parser("obs", help="telemetry artefact tools")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
@@ -297,6 +324,31 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize", help="rebuild run/epoch reports from an event log"
     )
     p_summ.add_argument("trace", help="event-log JSONL file (--trace-out)")
+    p_summ.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also write the summary as JSON (comparable with "
+        "'repro obs compare')",
+    )
+    p_summ.add_argument(
+        "--slo-latency-us",
+        type=float,
+        default=50_000.0,
+        help="latency objective (us) the trace's service requests are "
+        "graded against",
+    )
+    p_summ.add_argument(
+        "--slo-quantile",
+        type=float,
+        default=0.99,
+        help="quantile the latency objective constrains",
+    )
+    p_summ.add_argument(
+        "--slo-availability",
+        type=float,
+        default=0.999,
+        help="target success fraction for the error budget",
+    )
     p_val = obs_sub.add_parser(
         "validate", help="strictly validate a telemetry artefact"
     )
@@ -306,6 +358,42 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "events", "spans"],
         default="auto",
         help="artefact type (auto: .jsonl = events, otherwise spans)",
+    )
+    p_cmp = obs_sub.add_parser(
+        "compare",
+        help="regression report between two run artifacts "
+        "(BENCH_perf.json, summarize --json, metrics snapshots)",
+    )
+    p_cmp.add_argument("a", help="baseline artifact (JSON)")
+    p_cmp.add_argument("b", help="candidate artifact (JSON)")
+    p_cmp.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative change beyond which a directional metric is "
+        "flagged (default 0.10)",
+    )
+    p_cmp.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit nonzero when any metric regressed beyond the threshold",
+    )
+    p_cmp.add_argument(
+        "--all",
+        action="store_true",
+        help="list informational (direction-less) metrics too",
+    )
+    p_stitch = obs_sub.add_parser(
+        "stitch",
+        help="merge Chrome trace exports (e.g. client + server of one "
+        "serve run) onto one timeline",
+    )
+    p_stitch.add_argument(
+        "traces", nargs="+", help="Chrome trace JSON files (--spans-out)"
+    )
+    p_stitch.add_argument(
+        "-o", "--out", required=True, metavar="FILE",
+        help="where to write the stitched trace",
     )
 
     return parser
@@ -333,22 +421,31 @@ def _definition(args):
     return SafetyDefinition(args.definition)
 
 
-def _telemetry_from_args(args):
-    """Build the ``label`` command's telemetry from its output flags.
+def _telemetry_from_args(args, force_metrics: bool = False, span_name: str = "repro"):
+    """Build a command's telemetry from its output flags.
 
     Returns ``(telemetry, finish)`` where ``finish()`` closes the sinks
     and writes the metrics/span artefacts; both are ``None`` when no
     telemetry flag was given, so the untraced path stays a no-op.
+    ``force_metrics`` attaches a registry even without ``--metrics-out``
+    (the serve admin plane needs live series to scrape); ``span_name``
+    labels the recorder's process row in stitched traces.
     """
     from repro.obs import JSONLSink, MetricsRegistry, SpanRecorder, Telemetry
 
-    if not (args.trace_out or args.metrics_out or args.spans_out):
+    if not (args.trace_out or args.metrics_out or args.spans_out or force_metrics):
         return None, None
     sinks = []
     if args.trace_out:
-        sinks.append(JSONLSink(args.trace_out))
-    metrics = MetricsRegistry() if args.metrics_out else None
-    spans = SpanRecorder() if args.spans_out else None
+        flush_every = getattr(args, "flush_every", 0)
+        sinks.append(
+            JSONLSink(
+                args.trace_out,
+                flush_every=flush_every if flush_every else None,
+            )
+        )
+    metrics = MetricsRegistry() if (args.metrics_out or force_metrics) else None
+    spans = SpanRecorder(span_name) if args.spans_out else None
     telemetry = Telemetry(
         sinks=sinks, metrics=metrics, spans=spans, log_level=args.log_level
     )
@@ -616,7 +713,9 @@ def _cmd_serve(args) -> int:
 
     topo = _topology(args)
     faults = _faults(args, topo.shape) if args.faults else None
-    telemetry, finish_telemetry = _telemetry_from_args(args)
+    telemetry, finish_telemetry = _telemetry_from_args(
+        args, force_metrics=args.admin_port is not None, span_name="server"
+    )
     snapshot_every = args.snapshot_every if args.snapshot_every > 0 else None
     fsync_every = args.fsync_every if args.fsync_every > 0 else None
     if args.recover and not args.wal_dir:
@@ -682,6 +781,30 @@ def _cmd_serve(args) -> int:
     else:
         host, port = server.address
         print(f"listening on {host}:{port}", flush=True)
+    admin = None
+    if args.admin_port is not None:
+        from repro.obs import AdminServer
+
+        def varz():
+            # stats() iterates the service's rolling deques; the server
+            # lock serializes against handler threads appending to them.
+            with server.lock:
+                return service.stats()
+
+        def ready() -> bool:
+            recovery = service.recovery
+            verified = recovery is None or recovery.verified
+            return verified and not server.draining
+
+        admin = AdminServer(
+            metrics=telemetry.metrics if telemetry is not None else None,
+            varz=varz,
+            ready=ready,
+            host=args.admin_host,
+            port=args.admin_port,
+        )
+        admin_host, admin_port = admin.start()
+        print(f"admin on {admin_host}:{admin_port}", flush=True)
     # SIGTERM drains gracefully: stop accepting, finish in-flight
     # requests, fsync the WAL and leave the clean-shutdown marker.
     if threading.current_thread() is threading.main_thread():
@@ -692,6 +815,8 @@ def _cmd_serve(args) -> int:
         pass
     finally:
         server.drain(timeout=10.0)
+        if admin is not None:
+            admin.close()
         server.close()
         if args.unix and os.path.exists(args.unix):
             os.unlink(args.unix)
@@ -705,12 +830,25 @@ def _cmd_obs(args) -> int:
     from repro.errors import ObservabilityError
 
     if args.obs_command == "summarize":
-        from repro.obs import summarize_trace
+        import json
+
+        from repro.obs import SLOConfig, summarize_trace
         from repro.obs.summarize import format_summary
 
         try:
-            print(format_summary(summarize_trace(args.trace)))
-        except (OSError, ObservabilityError) as exc:
+            slo_config = SLOConfig(
+                latency_objective_us=args.slo_latency_us,
+                latency_quantile=args.slo_quantile,
+                availability_target=args.slo_availability,
+            )
+            summary = summarize_trace(args.trace, slo_config=slo_config)
+            print(format_summary(summary))
+            if args.json:
+                with open(args.json, "w", encoding="utf-8") as fh:
+                    json.dump(summary.to_dict(), fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                print(f"wrote {args.json}")
+        except (OSError, ValueError, ObservabilityError) as exc:
             print(f"obs summarize: {exc}", file=sys.stderr)
             return 1
         return 0
@@ -732,6 +870,46 @@ def _cmd_obs(args) -> int:
         except (OSError, ObservabilityError) as exc:
             print(f"obs validate: {exc}", file=sys.stderr)
             return 1
+        return 0
+    if args.obs_command == "compare":
+        from repro.obs import compare_runs, format_compare, load_run_artifact
+
+        try:
+            deltas = compare_runs(
+                load_run_artifact(args.a),
+                load_run_artifact(args.b),
+                threshold=args.threshold,
+            )
+        except (OSError, ValueError, ObservabilityError) as exc:
+            print(f"obs compare: {exc}", file=sys.stderr)
+            return 1
+        print(
+            format_compare(
+                deltas, label_a=args.a, label_b=args.b, show_all=args.all
+            )
+        )
+        if args.fail_on_regression and any(d.regressed for d in deltas):
+            return 1
+        return 0
+    if args.obs_command == "stitch":
+        import json
+
+        from repro.obs import load_chrome_trace, stitch_chrome_traces
+
+        try:
+            stitched = stitch_chrome_traces(
+                [load_chrome_trace(path) for path in args.traces]
+            )
+        except (OSError, ObservabilityError) as exc:
+            print(f"obs stitch: {exc}", file=sys.stderr)
+            return 1
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(stitched, fh, indent=2)
+            fh.write("\n")
+        print(
+            f"wrote {args.out} ({len(stitched['traceEvents'])} events "
+            f"from {len(args.traces)} traces)"
+        )
         return 0
     raise AssertionError(f"unknown obs command {args.obs_command!r}")
 

@@ -20,7 +20,16 @@ instrumentation into one subsystem with three legs:
 * **span profiling** (:mod:`repro.obs.spans`) — nested wall-clock spans
   around phases, kernels, engine rounds and sweep cells, exportable as
   Chrome ``trace_event`` JSON viewable in ``chrome://tracing`` or
-  Perfetto.
+  Perfetto, and stitchable across processes (client + server of one
+  request on one timeline).
+
+On top of those sit the *live* legs added for the serving stack:
+**metrics exposition** (:mod:`repro.obs.exposition`) — Prometheus
+text-format rendering plus the ``/metrics`` / ``/healthz`` / ``/readyz``
+/ ``/varz`` admin endpoint; **SLO evaluation** (:mod:`repro.obs.slo`) —
+rolling-window latency/error-budget grading of request outcomes; and
+**cross-run comparison** (:mod:`repro.obs.compare`) — regression
+reports between two run artifacts (``repro obs compare``).
 
 The :class:`~repro.obs.telemetry.Telemetry` facade bundles the three
 legs; every instrumented call site is guarded by a ``telemetry is not
@@ -29,6 +38,13 @@ the telemetry-off pipeline to < 2% overhead).  See
 ``docs/observability.md`` for schemas and the export how-to.
 """
 
+from repro.obs.compare import (
+    MetricDelta,
+    compare_runs,
+    flatten_numeric,
+    format_compare,
+    load_run_artifact,
+)
 from repro.obs.events import (
     EVENT_SCHEMAS,
     Event,
@@ -37,13 +53,21 @@ from repro.obs.events import (
     validate_event_dict,
     validate_jsonl,
 )
+from repro.obs.exposition import AdminServer, parse_prometheus, render_prometheus
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.sinks import EventSink, JSONLSink, MemorySink, NullSink
-from repro.obs.spans import SpanRecorder, load_chrome_trace
-from repro.obs.summarize import EpochReport, TraceSummary, summarize_trace
+from repro.obs.slo import SLOConfig, SLOTracker, evaluate_outcomes
+from repro.obs.spans import SpanRecorder, load_chrome_trace, stitch_chrome_traces
+from repro.obs.summarize import (
+    EpochReport,
+    TraceSummary,
+    latency_percentiles,
+    summarize_trace,
+)
 from repro.obs.telemetry import Telemetry
 
 __all__ = [
+    "AdminServer",
     "Counter",
     "EVENT_SCHEMAS",
     "EpochReport",
@@ -53,13 +77,25 @@ __all__ = [
     "Histogram",
     "JSONLSink",
     "MemorySink",
+    "MetricDelta",
     "MetricsRegistry",
     "NullSink",
+    "SLOConfig",
+    "SLOTracker",
     "SpanRecorder",
     "Telemetry",
     "TraceSummary",
+    "compare_runs",
+    "evaluate_outcomes",
+    "flatten_numeric",
+    "format_compare",
+    "latency_percentiles",
     "load_chrome_trace",
+    "load_run_artifact",
+    "parse_prometheus",
+    "render_prometheus",
     "snapshot_event",
+    "stitch_chrome_traces",
     "summarize_trace",
     "validate_event",
     "validate_event_dict",

@@ -1,0 +1,215 @@
+"""Cross-run regression reports: ``repro obs compare A B``.
+
+Two runs of the same pipeline — a stored ``BENCH_perf.json`` and a
+fresh one, or two ``obs summarize --json`` exports — are compared
+metric by metric.  Each artifact is flattened to its numeric leaves
+(dotted paths: ``incremental.durable.updates_per_sec``), paths present
+in both are paired, and each pair becomes a delta with a direction
+verdict:
+
+* paths whose last component looks like a latency/duration/overhead
+  (``*_s``, ``*_us``, ``p50``/``p90``/``p99``/``max``, ``*_overhead``,
+  ``errors``, ``dropped``) are **lower-is-better**;
+* paths that look like a rate or speedup (``*updates_per_sec``,
+  ``*speedup*``, ``*relative*``, ``*vs_serial*``, ``availability``)
+  are **higher-is-better**;
+* everything else is informational — reported, never flagged.
+
+A pair regresses when it moves beyond ``threshold`` (relative) in its
+bad direction.  This is deliberately heuristic — it is a *report*, the
+first piece of ROADMAP item 5's cross-run story, not a statistics
+engine; the CI invocation runs it in report-only mode and the
+``--fail-on-regression`` flag exists for curated same-shape artifact
+pairs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "MetricDelta",
+    "compare_runs",
+    "flatten_numeric",
+    "format_compare",
+    "load_run_artifact",
+]
+
+#: Last-component suffixes/names where smaller values are better.
+_LOWER_BETTER_SUFFIXES = ("_s", "_us", "_ms", "_overhead", "_bytes")
+_LOWER_BETTER_NAMES = frozenset(
+    {"p50", "p90", "p99", "max", "min", "errors", "dropped", "duplicated",
+     "error_budget_spent", "total_errors"}
+)
+#: Path fragments where larger values are better.
+_HIGHER_BETTER_FRAGMENTS = (
+    "updates_per_sec", "speedup", "vs_serial", "relative", "availability",
+    "error_budget_remaining",
+)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared metric: values from both runs and the verdict."""
+
+    path: str
+    a: float
+    b: float
+    #: ``"lower"`` / ``"higher"`` is better, or ``None`` (informational).
+    direction: Optional[str]
+    #: Relative change (b - a) / |a|; ``None`` when ``a`` is 0.
+    relative: Optional[float]
+    #: Moved beyond threshold in the bad direction.
+    regressed: bool
+    #: Moved beyond threshold in the good direction.
+    improved: bool
+
+
+def flatten_numeric(obj: Any, prefix: str = "") -> Dict[str, float]:
+    """All numeric leaves of a nested JSON object as ``{path: value}``.
+
+    Paths are dotted; list elements use their index as a component.
+    Booleans and non-numeric leaves are skipped.
+    """
+    out: Dict[str, float] = {}
+    if isinstance(obj, Mapping):
+        items = [(str(k), v) for k, v in obj.items()]
+    elif isinstance(obj, (list, tuple)):
+        items = [(str(i), v) for i, v in enumerate(obj)]
+    else:
+        if isinstance(obj, (int, float)) and not isinstance(obj, bool):
+            value = float(obj)
+            if math.isfinite(value):
+                out[prefix] = value
+        return out
+    for key, value in items:
+        path = f"{prefix}.{key}" if prefix else key
+        out.update(flatten_numeric(value, path))
+    return out
+
+
+def metric_direction(path: str) -> Optional[str]:
+    """Infer which way a metric should move, from its path."""
+    lowered = path.lower()
+    for fragment in _HIGHER_BETTER_FRAGMENTS:
+        if fragment in lowered:
+            return "higher"
+    last = lowered.rsplit(".", 1)[-1]
+    if last in _LOWER_BETTER_NAMES:
+        return "lower"
+    for suffix in _LOWER_BETTER_SUFFIXES:
+        if last.endswith(suffix):
+            return "lower"
+    return None
+
+
+def load_run_artifact(path: str) -> Dict[str, Any]:
+    """Load a JSON run artifact (``BENCH_perf.json``, ``obs summarize
+    --json`` output, a metrics snapshot...).
+
+    Raises :class:`~repro.errors.ObservabilityError` on unreadable or
+    non-object JSON, so the CLI can turn it into a one-line error.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ObservabilityError(f"cannot load run artifact {path}: {exc}") from exc
+    if not isinstance(data, Mapping):
+        raise ObservabilityError(
+            f"{path}: run artifact must be a JSON object, got "
+            f"{type(data).__name__}"
+        )
+    return dict(data)
+
+
+def compare_runs(
+    a: Mapping[str, Any],
+    b: Mapping[str, Any],
+    threshold: float = 0.10,
+) -> List[MetricDelta]:
+    """Pair the numeric leaves of two run artifacts into deltas.
+
+    Only paths present in both artifacts are compared (two artifacts of
+    different shapes simply share fewer paths).  ``threshold`` is the
+    relative change beyond which a directional metric counts as a
+    regression/improvement.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    flat_a = flatten_numeric(a)
+    flat_b = flatten_numeric(b)
+    deltas: List[MetricDelta] = []
+    for path in sorted(set(flat_a) & set(flat_b)):
+        va, vb = flat_a[path], flat_b[path]
+        direction = metric_direction(path)
+        relative = (vb - va) / abs(va) if va != 0 else None
+        regressed = improved = False
+        if direction is not None and relative is not None:
+            bad = relative > threshold if direction == "lower" else relative < -threshold
+            good = relative < -threshold if direction == "lower" else relative > threshold
+            regressed, improved = bad, good
+        deltas.append(
+            MetricDelta(
+                path=path,
+                a=va,
+                b=vb,
+                direction=direction,
+                relative=relative,
+                regressed=regressed,
+                improved=improved,
+            )
+        )
+    return deltas
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def format_compare(
+    deltas: List[MetricDelta],
+    label_a: str = "A",
+    label_b: str = "B",
+    show_all: bool = False,
+) -> str:
+    """The plain-text report ``repro obs compare`` prints.
+
+    By default only directional metrics are listed (plus a summary
+    line); ``show_all`` includes the informational ones.
+    """
+    regressions = [d for d in deltas if d.regressed]
+    improvements = [d for d in deltas if d.improved]
+    lines = [
+        f"compared {len(deltas)} shared metrics "
+        f"({label_a} -> {label_b}): "
+        f"{len(regressions)} regressed, {len(improvements)} improved",
+    ]
+    shown = [
+        d
+        for d in deltas
+        if show_all or d.direction is not None
+    ]
+    if shown:
+        lines.append("")
+        width = max(len(d.path) for d in shown)
+        for d in shown:
+            rel = "n/a" if d.relative is None else f"{100 * d.relative:+.1f}%"
+            flag = "  REGRESSED" if d.regressed else ("  improved" if d.improved else "")
+            arrow = {"lower": "v better", "higher": "^ better", None: "info"}[
+                d.direction
+            ]
+            lines.append(
+                f"  {d.path:<{width}}  {_fmt(d.a):>12} -> {_fmt(d.b):>12}  "
+                f"{rel:>8}  [{arrow}]{flag}"
+            )
+    if not deltas:
+        lines.append("  (no shared numeric metrics)")
+    return "\n".join(lines)

@@ -224,12 +224,20 @@ def validate_jsonl(path: str) -> int:
 
 
 def _iter_jsonl(path: str) -> Iterator[Tuple[int, Any]]:
-    with open(path, "r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                yield lineno, json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ObservabilityError(f"{path}:{lineno}: not JSON: {exc}") from exc
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield lineno, json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ObservabilityError(
+                        f"{path}:{lineno}: not JSON: {exc}"
+                    ) from exc
+    except UnicodeDecodeError as exc:
+        # A binary or mis-encoded file is a trace problem, not a crash:
+        # surface it through the same error type the CLI turns into a
+        # one-line message.
+        raise ObservabilityError(f"{path}: not UTF-8 text: {exc}") from exc

@@ -1,0 +1,351 @@
+"""Live metrics exposition: Prometheus text rendering and the admin
+HTTP endpoint.
+
+PR 3's telemetry was post-hoc — metrics and spans only became visible
+after the process exited and artefacts were written.  This module makes
+a running process *watchable*:
+
+* :func:`render_prometheus` turns a
+  :class:`~repro.obs.metrics.MetricsRegistry` into Prometheus
+  text-format exposition (version 0.0.4).  Counters and gauges render
+  one sample per labeled series; histograms render as summaries
+  (``_count``/``_sum``) plus ``_min``/``_max`` gauges, which preserves
+  every field of the registry's streaming histograms.  The rendering is
+  lossless: :func:`parse_prometheus` round-trips it back into the
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` value mapping,
+  and a test pins scrape == snapshot exactly.
+
+* :class:`AdminServer` is a stdlib ``http.server`` running in a daemon
+  thread beside the workload (``repro serve --admin-port``, or an
+  in-process sweep's telemetry).  Endpoints:
+
+  - ``/metrics`` — Prometheus exposition of the attached registry;
+  - ``/healthz`` — liveness (200 as long as the thread breathes);
+  - ``/readyz``  — readiness, gated on a caller-supplied probe (the
+    serving stack gates on recovery's bit-for-bit verification having
+    passed and the server not draining);
+  - ``/varz``    — a JSON status document from a caller-supplied
+    callable (``LabelingService.stats()`` for the serving stack).
+
+The admin plane deliberately reads shared state instead of owning any:
+scrapes never mutate the registry, so the exposition stays bit-for-bit
+the same registry the ``RunStats`` property tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, _render_key
+
+__all__ = ["AdminServer", "parse_prometheus", "render_prometheus"]
+
+#: The content type Prometheus scrapers expect from a text endpoint.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _format_value(value: Any) -> str:
+    # Integers stay integers — the registry guarantees no float drift,
+    # and the round-trip test compares against the snapshot exactly.
+    if isinstance(value, bool):  # pragma: no cover - registry never stores bools
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry as Prometheus text-format exposition.
+
+    Series are grouped per metric name under one ``# TYPE`` header, in
+    sorted order, so the output is diffable.  Histogram series expand to
+    ``name_count`` / ``name_sum`` (a Prometheus summary without
+    quantiles) plus ``name_min`` / ``name_max`` gauges; empty histogram
+    min/max render as ``NaN``, the Prometheus idiom for "no samples".
+    """
+    counters: Dict[str, list] = {}
+    gauges: Dict[str, list] = {}
+    summaries: Dict[str, list] = {}
+    for name, labels, series in registry.series():
+        rendered = _render_labels(labels)
+        if isinstance(series, Counter):
+            counters.setdefault(name, []).append((rendered, series.value))
+        elif isinstance(series, Gauge):
+            gauges.setdefault(name, []).append((rendered, series.value))
+        else:
+            summaries.setdefault(name, []).append((rendered, series))
+    lines = []
+    for name in sorted(counters):
+        lines.append(f"# TYPE {name} counter")
+        for rendered, value in counters[name]:
+            lines.append(f"{name}{rendered} {_format_value(value)}")
+    for name in sorted(gauges):
+        lines.append(f"# TYPE {name} gauge")
+        for rendered, value in gauges[name]:
+            lines.append(f"{name}{rendered} {_format_value(value)}")
+    for name in sorted(summaries):
+        lines.append(f"# TYPE {name} summary")
+        for rendered, h in summaries[name]:
+            lines.append(f"{name}_count{rendered} {_format_value(h.count)}")
+            lines.append(f"{name}_sum{rendered} {_format_value(h.total)}")
+        lines.append(f"# TYPE {name}_min gauge")
+        for rendered, h in summaries[name]:
+            value = "NaN" if h.min is None else _format_value(h.min)
+            lines.append(f"{name}_min{rendered} {value}")
+        lines.append(f"# TYPE {name}_max gauge")
+        for rendered, h in summaries[name]:
+            value = "NaN" if h.max is None else _format_value(h.max)
+            lines.append(f"{name}_max{rendered} {value}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_number(token: str, where: str) -> float:
+    try:
+        return float(token)
+    except ValueError as exc:
+        raise ObservabilityError(f"{where}: bad sample value {token!r}") from exc
+
+
+def _parse_sample_name(line: str, where: str) -> Tuple[str, str]:
+    """Split ``name{labels} value`` into the rendered key and the value
+    token, validating brace/quote structure."""
+    brace = line.find("{")
+    if brace == -1:
+        parts = line.rsplit(None, 1)
+        if len(parts) != 2:
+            raise ObservabilityError(f"{where}: expected 'name value'")
+        return parts[0], parts[1]
+    close = line.rfind("}")
+    if close == -1 or close < brace:
+        raise ObservabilityError(f"{where}: unbalanced label braces")
+    key = line[: close + 1]
+    value = line[close + 1 :].strip()
+    if not value or " " in value:
+        raise ObservabilityError(f"{where}: expected one value after labels")
+    return key, value
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, float]]:
+    """Parse text exposition back into ``{kind: {rendered_key: value}}``.
+
+    The inverse of :func:`render_prometheus` for the subset it emits
+    (``# TYPE`` headers, one sample per line).  ``summary`` metrics come
+    back under ``"summaries"`` keyed the same way the snapshot renders
+    histogram keys, with their ``_count``/``_sum``/``_min``/``_max``
+    components reassembled.  Used by the CI scrape check to assert a
+    live ``/metrics`` response agrees exactly with the registry
+    snapshot.
+
+    Raises
+    ------
+    ObservabilityError
+        On a malformed line, an unknown ``# TYPE``, or a sample without
+        a preceding type header.
+    """
+    kinds: Dict[str, str] = {}
+    out: Dict[str, Dict[str, Any]] = {
+        "counters": {},
+        "gauges": {},
+        "summaries": {},
+    }
+    summary_parts: Dict[str, Dict[str, float]] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        where = f"line {lineno}"
+        if not line:
+            continue
+        if line.startswith("#"):
+            fields = line.split()
+            if len(fields) >= 2 and fields[1] == "HELP":
+                continue
+            if len(fields) != 4 or fields[1] != "TYPE":
+                raise ObservabilityError(f"{where}: malformed comment {line!r}")
+            kind = fields[3]
+            if kind not in ("counter", "gauge", "summary"):
+                raise ObservabilityError(f"{where}: unknown metric type {kind!r}")
+            kinds[fields[2]] = kind
+            continue
+        key, token = _parse_sample_name(line, where)
+        name = key.split("{", 1)[0]
+        base, suffix = name, None
+        for candidate in ("_count", "_sum", "_min", "_max"):
+            stem = name[: -len(candidate)]
+            if name.endswith(candidate) and kinds.get(stem) == "summary":
+                base, suffix = stem, candidate[1:]
+                break
+        kind = kinds.get(name) if suffix is None else "summary"
+        if kind is None:
+            raise ObservabilityError(f"{where}: sample {name!r} has no # TYPE")
+        value = _parse_number(token, where)
+        if kind == "counter":
+            out["counters"][key] = value
+        elif kind == "gauge" and suffix is None:
+            out["gauges"][key] = value
+        else:
+            rendered_base = base + key[len(name):]
+            entry = summary_parts.setdefault(rendered_base, {})
+            field = {"count": "count", "sum": "sum", "min": "min", "max": "max"}[
+                suffix or "count"
+            ]
+            entry[field] = value
+    for key, entry in summary_parts.items():
+        out["summaries"][key] = {
+            "count": entry.get("count", 0.0),
+            "sum": entry.get("sum", 0.0),
+            "min": entry.get("min"),
+            "max": entry.get("max"),
+        }
+    return out
+
+
+class _AdminHandler(BaseHTTPRequestHandler):
+    """GET-only routing over the admin surface; never raises."""
+
+    server_version = "repro-admin"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        admin: "AdminServer" = self.server.admin  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                registry = admin.metrics
+                body = render_prometheus(registry) if registry is not None else ""
+                self._reply(200, body, CONTENT_TYPE)
+            elif path == "/healthz":
+                self._reply(200, "ok\n", "text/plain; charset=utf-8")
+            elif path == "/readyz":
+                ready, detail = admin.readiness()
+                self._reply(
+                    200 if ready else 503,
+                    f"{detail}\n",
+                    "text/plain; charset=utf-8",
+                )
+            elif path == "/varz":
+                payload = admin.varz() if admin.varz is not None else {}
+                self._reply(
+                    200,
+                    json.dumps(payload, indent=2, sort_keys=True, default=str)
+                    + "\n",
+                    "application/json; charset=utf-8",
+                )
+            else:
+                self._reply(404, "not found\n", "text/plain; charset=utf-8")
+        except Exception as exc:  # noqa: BLE001 - admin must never kill serving
+            try:
+                self._reply(
+                    500,
+                    f"{type(exc).__name__}: {exc}\n",
+                    "text/plain; charset=utf-8",
+                )
+            except OSError:  # pragma: no cover - peer gone mid-error
+                pass
+
+    def _reply(self, status: int, body: str, content_type: str) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def log_message(self, *args: Any) -> None:  # noqa: D102 - silence stderr
+        pass
+
+
+class AdminServer:
+    """The observability endpoint beside a running workload.
+
+    Parameters
+    ----------
+    metrics:
+        Registry exposed at ``/metrics`` (``None`` serves an empty
+        exposition — liveness/readiness still work).
+    varz:
+        Zero-argument callable returning the ``/varz`` JSON document;
+        the callable owns any locking its reads need.
+    ready:
+        Zero-argument readiness probe for ``/readyz``; ``None`` means
+        always ready.  Exceptions count as not ready.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (see
+        :attr:`address` after :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        varz: Optional[Callable[[], Dict[str, Any]]] = None,
+        ready: Optional[Callable[[], bool]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.metrics = metrics
+        self.varz = varz
+        self.ready = ready
+        self._httpd = ThreadingHTTPServer((host, port), _AdminHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.admin = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``."""
+        return self._httpd.server_address[:2]
+
+    def readiness(self) -> Tuple[bool, str]:
+        """Evaluate the readiness probe into ``(ready, detail)``."""
+        if self.ready is None:
+            return True, "ready"
+        try:
+            ready = bool(self.ready())
+        except Exception as exc:  # noqa: BLE001 - a broken probe is "not ready"
+            return False, f"not ready: probe failed: {exc}"
+        return (True, "ready") if ready else (False, "not ready")
+
+    def start(self) -> Tuple[str, int]:
+        """Serve on a daemon thread; returns the bound address."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                kwargs={"poll_interval": 0.1},
+                daemon=True,
+                name="repro-admin",
+            )
+            self._thread.start()
+        return self.address
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._httpd.shutdown()
+            thread.join(timeout=5)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "AdminServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# _render_key is re-exported for callers that need to key scraped
+# samples the same way MetricsRegistry.snapshot does.
+_RENDER_KEY = _render_key

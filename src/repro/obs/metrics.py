@@ -138,6 +138,17 @@ class MetricsRegistry:
             self._kinds[name] = kind
         return series
 
+    def series(self):
+        """All series as ``(name, labels, series)`` triples, sorted by
+        key — ``labels`` is the sorted ``((label, value), ...)`` tuple.
+
+        This is the structured view :mod:`repro.obs.exposition` renders
+        to Prometheus text; :meth:`snapshot` is the flat JSON view.
+        """
+        return [
+            (key[0], key[1], self._series[key]) for key in sorted(self._series)
+        ]
+
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """All series as plain JSON-ready dicts, keyed by rendered name.
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import abc
 import json
+import threading
 from collections import deque
 from typing import IO, List, Optional
 
@@ -72,11 +73,22 @@ class JSONLSink(EventSink):
     ``snapshot`` events are skipped: their payload is the full node
     state of the machine, meant for in-process
     :class:`~repro.fabric.trace.RoundTrace` consumers, not for disk.
+
+    ``flush_every=N`` flushes the file every N written events, so a
+    long-running server's trace stays readable (and scrapeable) while
+    the process lives; ``None`` leaves flushing to the runtime and
+    :meth:`close`.  :meth:`close` and :meth:`flush` are idempotent and
+    safe to call from any thread — a SIGTERM drain and an admin thread
+    may both try to finalize the same sink.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, flush_every: Optional[int] = None):
+        if flush_every is not None and flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
         self._path = path
         self._fh: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+        self._flush_every = flush_every
+        self._lock = threading.Lock()
         self.written = 0
 
     @property
@@ -85,18 +97,29 @@ class JSONLSink(EventSink):
         return self._path
 
     def emit(self, event: Event) -> None:
-        if self._fh is None:
-            raise ValueError(f"JSONLSink({self._path!r}) is closed")
         if event.name == "snapshot":
             return
-        self._fh.write(json.dumps(event.to_dict(), separators=(",", ":")))
-        self._fh.write("\n")
-        self.written += 1
+        line = json.dumps(event.to_dict(), separators=(",", ":"))
+        with self._lock:
+            if self._fh is None:
+                raise ValueError(f"JSONLSink({self._path!r}) is closed")
+            self._fh.write(line)
+            self._fh.write("\n")
+            self.written += 1
+            if self._flush_every is not None and self.written % self._flush_every == 0:
+                self._fh.flush()
+
+    def flush(self) -> None:
+        """Push buffered lines to disk; a no-op once closed."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "JSONLSink":
         return self

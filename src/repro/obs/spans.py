@@ -12,19 +12,31 @@ timestamp containment alone.
 over every exported trace: it rejects files Chrome would silently
 misrender (missing ``dur``, non-numeric timestamps, unknown phase
 letters).
+
+Distributed requests span *two* recorders — the client's and the
+server's.  Each recorder stamps its export with a wall-clock origin and
+a process name, and :func:`stitch_chrome_traces` merges several exports
+onto one timeline (distinct ``pid`` rows, timestamps rebased via the
+wall-clock origins), so a client→server round trip renders as a single
+nested trace in Perfetto.  :meth:`SpanRecorder.context` binds extra
+``args`` (a trace id, a retry attempt) onto every span recorded inside
+it, which is how the server threads a request's trace context down
+through ``service_update`` into the engine spans without passing it
+through every signature.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Mapping, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional
 
 from repro.errors import ObservabilityError
 from repro.obs.events import jsonable
 
-__all__ = ["SpanRecorder", "load_chrome_trace"]
+__all__ = ["SpanRecorder", "load_chrome_trace", "stitch_chrome_traces"]
 
 #: Phase letters the strict loader accepts ("X" complete, "B"/"E"
 #: begin/end, "M" metadata, "i" instant).
@@ -32,14 +44,44 @@ _VALID_PHASES = frozenset({"X", "B", "E", "M", "i"})
 
 
 class SpanRecorder:
-    """Collects completed spans; one recorder per profiled run."""
+    """Collects completed spans; one recorder per profiled run.
 
-    __slots__ = ("_origin_ns", "_events", "_depth")
+    ``name`` labels the recorder's process row in a stitched trace
+    (``"client"``, ``"server"``, ...).  The wall-clock origin captured
+    at construction rides along in the export so
+    :func:`stitch_chrome_traces` can rebase several recorders onto one
+    timeline.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("name", "_origin_ns", "_origin_unix", "_events", "_depth", "_local")
+
+    def __init__(self, name: str = "repro") -> None:
+        self.name = name
+        # Both origins are read back-to-back so the wall-clock anchor of
+        # the monotonic timeline is accurate to well under a span width.
         self._origin_ns = time.perf_counter_ns()
+        self._origin_unix = time.time()
         self._events: List[Dict[str, Any]] = []
         self._depth = 0
+        self._local = threading.local()
+
+    @contextmanager
+    def context(self, **args: Any) -> Iterator[None]:
+        """Bind extra ``args`` onto every span recorded inside.
+
+        Bindings are per-thread (a threaded server traces concurrent
+        requests without cross-talk) and nest: inner bindings shadow
+        outer ones for the duration of the inner block.  Explicit
+        ``span(..., **args)`` arguments win over bound ones.
+        """
+        outer = getattr(self._local, "bound", None)
+        merged = dict(outer) if outer else {}
+        merged.update(args)
+        self._local.bound = merged
+        try:
+            yield
+        finally:
+            self._local.bound = outer
 
     @contextmanager
     def span(self, name: str, **args: Any) -> Iterator[None]:
@@ -56,6 +98,9 @@ class SpanRecorder:
         finally:
             self._depth -= 1
             end_ns = time.perf_counter_ns()
+            bound = getattr(self._local, "bound", None)
+            if bound:
+                args = {**bound, **args}
             self._events.append(
                 {
                     "name": name,
@@ -75,11 +120,23 @@ class SpanRecorder:
         """The Chrome trace-event JSON object for all closed spans.
 
         Events are sorted by start time (Chrome tolerates any order;
-        sorting makes the artefact diffable).
+        sorting makes the artefact diffable).  A ``process_name``
+        metadata event carries the recorder's name, and the top-level
+        ``originUnix`` anchors the monotonic timeline to the wall clock
+        for :func:`stitch_chrome_traces`.
         """
+        meta = {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": self.name},
+        }
         return {
-            "traceEvents": sorted(self._events, key=lambda e: e["ts"]),
+            "traceEvents": [meta] + sorted(self._events, key=lambda e: e["ts"]),
             "displayTimeUnit": "ms",
+            "originUnix": self._origin_unix,
         }
 
     def write(self, path: str) -> None:
@@ -139,3 +196,45 @@ def _check_trace_event(ev: Any, where: str) -> None:
 
 def _is_number(v: Any) -> bool:
     return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def stitch_chrome_traces(traces: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Merge several Chrome trace exports into one stitched trace.
+
+    Each input (the :meth:`SpanRecorder.to_chrome_trace` /
+    :func:`load_chrome_trace` object form) becomes its own ``pid`` row.
+    When every input carries the ``originUnix`` wall-clock anchor, the
+    timestamps are rebased onto the earliest origin's timeline, so a
+    client span *contains* the server work it caused — nested flame
+    rows in one picture.  Traces without an anchor keep their own
+    timestamps (rows still merge, containment is not meaningful).
+
+    Raises
+    ------
+    ObservabilityError
+        On an input without a ``traceEvents`` array, or no inputs.
+    """
+    inputs = list(traces)
+    if not inputs:
+        raise ObservabilityError("stitch_chrome_traces needs at least one trace")
+    for i, trace in enumerate(inputs):
+        if not isinstance(trace, Mapping) or not isinstance(
+            trace.get("traceEvents"), list
+        ):
+            raise ObservabilityError(
+                f"trace {i}: expected an object with a 'traceEvents' array"
+            )
+    origins = [trace.get("originUnix") for trace in inputs]
+    anchored = all(_is_number(o) for o in origins)
+    base = min(origins) if anchored else 0.0
+    merged: List[Dict[str, Any]] = []
+    for pid, trace in enumerate(inputs):
+        shift_us = 1e6 * (origins[pid] - base) if anchored else 0.0
+        for ev in trace["traceEvents"]:
+            out = dict(ev)
+            out["pid"] = pid
+            if out.get("ph") != "M" and _is_number(out.get("ts")):
+                out["ts"] = out["ts"] + shift_us
+            merged.append(out)
+    merged.sort(key=lambda e: (e.get("ph") != "M", e.get("ts", 0.0)))
+    return {"traceEvents": merged, "displayTimeUnit": "ms"}

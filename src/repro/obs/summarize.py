@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ObservabilityError
 from repro.obs.events import validate_event_dict, _iter_jsonl
+from repro.obs.slo import SLOConfig, evaluate_outcomes
 
 __all__ = [
     "EpochReport",
@@ -107,6 +108,41 @@ class TraceSummary:
     #: clean-shutdown marker; ``request_retry`` carries the retry
     #: ``count``.  Empty when the trace holds no durability events.
     durability: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: SLO grading of the trace's ``service_request`` outcomes (the
+    #: :func:`repro.obs.slo.evaluate_outcomes` dict), present when the
+    #: trace holds service events.
+    slo: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready view (``repro obs summarize --json``) whose
+        numeric leaves feed :func:`repro.obs.compare.compare_runs`."""
+        return {
+            "path": self.path,
+            "events_total": self.events_total,
+            "by_name": dict(self.by_name),
+            "phase_seconds": dict(self.phase_seconds),
+            "service_latency": {
+                op: dict(pct) for op, pct in self.service_latency.items()
+            },
+            "durability": {
+                name: dict(entry) for name, entry in self.durability.items()
+            },
+            "slo": dict(self.slo) if self.slo is not None else None,
+            "runs": [
+                {
+                    "label": r.label(),
+                    "epochs": len(r.epochs),
+                    "recovery_rounds": r.recovery_rounds,
+                    "rounds": r.rounds,
+                    "executed_rounds": r.executed_rounds,
+                    "messages": r.messages,
+                    "heartbeats": r.heartbeats,
+                    "dropped": r.dropped,
+                    "duplicated": r.duplicated,
+                }
+                for r in self.runs
+            ],
+        }
 
     def run(self, **labels: Any) -> RunReport:
         """The unique run whose labels include ``labels``.
@@ -124,14 +160,22 @@ class TraceSummary:
         return matches[0]
 
 
-def summarize_trace(path: str) -> TraceSummary:
-    """Read, validate, and summarize an event-log JSONL file."""
+def summarize_trace(
+    path: str, slo_config: Optional[SLOConfig] = None
+) -> TraceSummary:
+    """Read, validate, and summarize an event-log JSONL file.
+
+    ``slo_config`` grades the trace's ``service_request`` outcomes into
+    :attr:`TraceSummary.slo` (defaults to :class:`SLOConfig`'s
+    defaults); traces without service events get ``slo=None``.
+    """
     tally: TallyCounter = TallyCounter()
     reports: Dict[Tuple[Tuple[str, str], ...], RunReport] = {}
     phase_started: Dict[str, float] = {}
     phase_seconds: Dict[str, float] = {}
     request_latencies: Dict[str, List[float]] = {}
     request_errors: TallyCounter = TallyCounter()
+    request_outcomes: List[Tuple[bool, float]] = []
     durable_latencies: Dict[str, List[float]] = {}
     durable_bytes: TallyCounter = TallyCounter()
     recoveries: List[Mapping[str, Any]] = []
@@ -140,71 +184,32 @@ def summarize_trace(path: str) -> TraceSummary:
     for lineno, record in _iter_jsonl(path):
         try:
             validate_event_dict(record)
+            _absorb_record(
+                record,
+                phase_started=phase_started,
+                phase_seconds=phase_seconds,
+                request_latencies=request_latencies,
+                request_errors=request_errors,
+                request_outcomes=request_outcomes,
+                durable_latencies=durable_latencies,
+                durable_bytes=durable_bytes,
+                recoveries=recoveries,
+                reports=reports,
+            )
         except ObservabilityError as exc:
             raise ObservabilityError(f"{path}:{lineno}: {exc}") from exc
+        except (TypeError, ValueError) as exc:
+            # Schema validation checks presence, not types; a trace with
+            # e.g. a string where a number belongs dies here with the
+            # offending line, not a traceback.
+            raise ObservabilityError(
+                f"{path}:{lineno}: bad field value in "
+                f"{record['name']!r} event: {exc}"
+            ) from exc
         total += 1
-        name = record["name"]
-        tally[name] += 1
-        if name == "phase_transition":
-            fields = record["fields"]
-            phase = str(fields["phase"])
-            if fields["status"] == "start":
-                phase_started[phase] = float(record["t"])
-            elif phase in phase_started:
-                elapsed = float(record["t"]) - phase_started.pop(phase)
-                phase_seconds[phase] = phase_seconds.get(phase, 0.0) + elapsed
-            continue
-        if name == "service_request":
-            fields = record["fields"]
-            op = str(fields["op"])
-            request_latencies.setdefault(op, []).append(
-                float(fields["latency_us"])
-            )
-            if not fields["ok"]:
-                request_errors[op] += 1
-            continue
-        if name in ("wal_append", "snapshot_write"):
-            fields = record["fields"]
-            durable_latencies.setdefault(name, []).append(
-                float(fields["latency_us"])
-            )
-            durable_bytes[name] += int(fields["bytes"])
-            continue
-        if name == "recovery_replay":
-            recoveries.append(record["fields"])
-            continue
-        if name == "request_retry":
+        tally[record["name"]] += 1
+        if record["name"] == "request_retry":
             retries += 1
-            continue
-        if name not in ("epoch_end", "run_end"):
-            continue
-        fields = record["fields"]
-        key = _run_key(fields)
-        report = reports.get(key)
-        if report is None:
-            report = reports[key] = RunReport(key=key)
-        if name == "epoch_end":
-            report.epochs.append(
-                EpochReport(
-                    epoch=int(fields["epoch"]),
-                    at_time=int(fields["at_time"]),
-                    crashed=tuple(
-                        (int(x), int(y)) for x, y in fields["crashed"]
-                    ),
-                    rounds=int(fields["rounds"]),
-                    executed_rounds=int(fields["executed_rounds"]),
-                    messages=int(fields["messages"]),
-                    dropped=int(fields["dropped"]),
-                    duplicated=int(fields["duplicated"]),
-                )
-            )
-        elif name == "run_end":
-            report.rounds = int(fields["rounds"])
-            report.executed_rounds = int(fields["executed_rounds"])
-            report.messages = int(fields["messages"])
-            report.heartbeats = int(fields["heartbeats"])
-            report.dropped = int(fields["dropped"])
-            report.duplicated = int(fields["duplicated"])
     for report in reports.values():
         report.epochs.sort(key=lambda e: e.epoch)
         _check_consistency(path, report)
@@ -228,6 +233,11 @@ def summarize_trace(path: str) -> TraceSummary:
         }
     if retries:
         durability["request_retry"] = {"count": float(retries)}
+    slo = (
+        evaluate_outcomes(request_outcomes, slo_config or SLOConfig())
+        if request_outcomes
+        else None
+    )
     return TraceSummary(
         path=path,
         events_total=total,
@@ -236,7 +246,82 @@ def summarize_trace(path: str) -> TraceSummary:
         phase_seconds=phase_seconds,
         service_latency=service_latency,
         durability=durability,
+        slo=slo,
     )
+
+
+def _absorb_record(
+    record: Mapping[str, Any],
+    *,
+    phase_started: Dict[str, float],
+    phase_seconds: Dict[str, float],
+    request_latencies: Dict[str, List[float]],
+    request_errors: TallyCounter,
+    request_outcomes: List[Tuple[bool, float]],
+    durable_latencies: Dict[str, List[float]],
+    durable_bytes: TallyCounter,
+    recoveries: List[Mapping[str, Any]],
+    reports: Dict[Tuple[Tuple[str, str], ...], RunReport],
+) -> None:
+    """Fold one validated record into the accumulators.
+
+    Raises plain ``ValueError``/``TypeError`` on mis-typed fields; the
+    caller rewraps them with the line number.
+    """
+    name = record["name"]
+    fields = record["fields"]
+    if name == "phase_transition":
+        phase = str(fields["phase"])
+        if fields["status"] == "start":
+            phase_started[phase] = float(record["t"])
+        elif phase in phase_started:
+            elapsed = float(record["t"]) - phase_started.pop(phase)
+            phase_seconds[phase] = phase_seconds.get(phase, 0.0) + elapsed
+        return
+    if name == "service_request":
+        op = str(fields["op"])
+        latency_us = float(fields["latency_us"])
+        ok = bool(fields["ok"])
+        request_latencies.setdefault(op, []).append(latency_us)
+        request_outcomes.append((ok, latency_us))
+        if not ok:
+            request_errors[op] += 1
+        return
+    if name in ("wal_append", "snapshot_write"):
+        durable_latencies.setdefault(name, []).append(
+            float(fields["latency_us"])
+        )
+        durable_bytes[name] += int(fields["bytes"])
+        return
+    if name == "recovery_replay":
+        recoveries.append(fields)
+        return
+    if name not in ("epoch_end", "run_end"):
+        return
+    key = _run_key(fields)
+    report = reports.get(key)
+    if report is None:
+        report = reports[key] = RunReport(key=key)
+    if name == "epoch_end":
+        report.epochs.append(
+            EpochReport(
+                epoch=int(fields["epoch"]),
+                at_time=int(fields["at_time"]),
+                crashed=tuple((int(x), int(y)) for x, y in fields["crashed"]),
+                rounds=int(fields["rounds"]),
+                executed_rounds=int(fields["executed_rounds"]),
+                messages=int(fields["messages"]),
+                dropped=int(fields["dropped"]),
+                duplicated=int(fields["duplicated"]),
+            )
+        )
+    else:
+        report.rounds = int(fields["rounds"])
+        report.executed_rounds = int(fields["executed_rounds"])
+        report.messages = int(fields["messages"])
+        report.heartbeats = int(fields["heartbeats"])
+        report.dropped = int(fields["dropped"])
+        report.duplicated = int(fields["duplicated"])
 
 
 def latency_percentiles(
@@ -309,6 +394,27 @@ def format_summary(summary: TraceSummary) -> str:
                 f"p50={pct['p50']:.1f} p90={pct['p90']:.1f} "
                 f"p99={pct['p99']:.1f} max={pct['max']:.1f}"
             )
+    if summary.slo is not None:
+        s = summary.slo
+        cfg = s["config"]
+        lines.append("")
+        lines.append(f"slo: {'OK' if s['ok'] else 'VIOLATED'}")
+        lines.append(
+            f"  availability: {s['availability']:.4f} "
+            f"(target {cfg['availability_target']}) "
+            f"[{'ok' if s['availability_ok'] else 'VIOLATED'}]"
+        )
+        lines.append(
+            f"  error budget: {s['error_budget_spent']:.1f} spent of "
+            f"{s['error_budget_total']:.1f} "
+            f"({int(s['errors'])} errors in {int(s['count'])} requests)"
+        )
+        lines.append(
+            f"  latency p{100 * cfg['latency_quantile']:g}: "
+            f"{s['latency_quantile_us']:.1f} us "
+            f"(objective {cfg['latency_objective_us']:g} us) "
+            f"[{'ok' if s['latency_ok'] else 'VIOLATED'}]"
+        )
     if summary.durability:
         lines.append("")
         lines.append("durability:")

@@ -149,3 +149,12 @@ class Telemetry:
         if self.spans is None:
             return _NULL_CONTEXT
         return self.spans.span(name, **args)
+
+    def span_context(self, **args: Any) -> ContextManager[None]:
+        """Bind ``args`` onto every span recorded inside (see
+        :meth:`SpanRecorder.context`); a no-op context without a
+        recorder.  This is how a request's trace id reaches the engine
+        spans it causes without threading through every signature."""
+        if self.spans is None or not args:
+            return _NULL_CONTEXT
+        return self.spans.context(**args)

@@ -33,6 +33,7 @@ import json
 import socket
 import time
 import uuid
+from contextlib import nullcontext
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ServiceError, ServiceOverloadedError
@@ -71,7 +72,10 @@ class ServiceClient:
     backoff:
         Initial retry backoff in seconds; doubles per attempt.
     telemetry:
-        Optional telemetry; each retry emits a ``request_retry`` event.
+        Optional telemetry; each retry emits a ``request_retry`` event,
+        and with a span recorder attached every attempt records a
+        ``client_request`` span carrying the trace context it put on
+        the wire (stitchable against the server's trace).
     """
 
     def __init__(
@@ -187,14 +191,42 @@ class ServiceClient:
 
     def _retrying(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """At-least-once delivery: retry transport failures and shed
-        (overloaded) responses with exponential backoff + reconnect."""
+        (overloaded) responses with exponential backoff + reconnect.
+
+        Each logical request gets one trace id, attached to the frame
+        and reused verbatim across retries; each *attempt* gets a fresh
+        span id and its attempt number, so an exactly-once replay is
+        visible in a stitched trace as two client spans sharing a trace
+        id with distinct attempts.
+        """
         op = payload.get("op")
+        op_label = op if isinstance(op, str) else "?"
+        trace_id = uuid.uuid4().hex[:16]
         delay = self._backoff
         attempt = 0
         while True:
             reason: Optional[str] = None
+            span_id = uuid.uuid4().hex[:16]
+            payload["trace"] = {
+                "id": trace_id,
+                "span": span_id,
+                "attempt": attempt,
+            }
+            tel = self._telemetry
+            attempt_span = (
+                tel.span(
+                    "client_request",
+                    op=op_label,
+                    trace=trace_id,
+                    span=span_id,
+                    attempt=attempt,
+                )
+                if tel is not None
+                else nullcontext()
+            )
             try:
-                response = self.request(payload)
+                with attempt_span:
+                    response = self.request(payload)
             except ServiceError as exc:
                 reason = str(exc)
                 if attempt >= self._retries:

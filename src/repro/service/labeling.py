@@ -50,6 +50,7 @@ from repro.core.status import NodeStatus, SafetyDefinition
 from repro.errors import ServiceError
 from repro.faults.faultset import FaultSet
 from repro.mesh.topology import Topology
+from repro.obs.slo import SLOConfig, SLOTracker
 from repro.obs.summarize import latency_percentiles
 from repro.obs.telemetry import Telemetry
 from repro.service.recovery import ClientState, RecoveredState, recover_state
@@ -114,6 +115,11 @@ class LabelingService:
         log every N appends (``None`` = only at checkpoints/close).
     crash_hook:
         Chaos-test seam, forwarded to the WAL and snapshot writers.
+    slo:
+        Optional :class:`~repro.obs.slo.SLOConfig`; the service grades
+        request outcomes fed through :meth:`record_request` against it
+        in a rolling window, surfaced as ``stats()["slo"]`` (and from
+        there the ``stats`` op and the admin plane's ``/varz``).
     """
 
     def __init__(
@@ -128,6 +134,7 @@ class LabelingService:
         snapshot_every: Optional[int] = None,
         fsync_every: Optional[int] = None,
         crash_hook: Optional[Any] = None,
+        slo: Optional[SLOConfig] = None,
     ):
         if snapshot_every is not None and snapshot_every < 1:
             raise ValueError(
@@ -153,6 +160,7 @@ class LabelingService:
             telemetry.histogram("snapshot_write_us") if has_metrics else None
         )
         self._started_at = time.time()
+        self.slo = SLOTracker(slo if slo is not None else SLOConfig())
         self._clients: Dict[str, ClientState] = {}
         self._snapshot_every = snapshot_every
         self._since_snapshot = 0
@@ -190,6 +198,7 @@ class LabelingService:
         fsync_every: Optional[int] = None,
         crash_hook: Optional[Any] = None,
         verify: bool = True,
+        slo: Optional[SLOConfig] = None,
     ) -> "LabelingService":
         """Rebuild a durable service from its WAL directory.
 
@@ -213,6 +222,7 @@ class LabelingService:
             telemetry=telemetry,
             latency_window=latency_window,
             snapshot_every=snapshot_every,
+            slo=slo,
         )
         service._engine = state.engine
         service._clients = dict(state.clients)
@@ -452,14 +462,26 @@ class LabelingService:
 
     # -- reporting --------------------------------------------------------------
 
+    def record_request(self, ok: bool, latency_us: float) -> None:
+        """Feed one request outcome into the rolling SLO window.
+
+        The server front end calls this for every answered *and*
+        rejected request (oversized frame, deadline, load shed), so the
+        error budget in :meth:`stats` sees the failures clients see.
+        Thread-safe; in-process users may call it directly.
+        """
+        self.slo.record(ok, latency_us)
+
     def stats(self) -> Dict[str, object]:
         """Operational counters: what ``repro serve``'s ``stats`` op
         returns.
 
         ``update_latency_us`` summarizes the rolling window of recent
         updates (nearest-rank percentiles); cache numbers come straight
-        from the shared :class:`BlockEnableCache`.  Durable services add
-        a ``wal`` block (appends, bytes, snapshots, dedup clients).
+        from the shared :class:`BlockEnableCache`; ``slo`` grades the
+        rolling request-outcome window (availability, error budget,
+        latency objective — see :mod:`repro.obs.slo`).  Durable services
+        add a ``wal`` block (appends, bytes, snapshots, dedup clients).
         """
         engine = self._engine
         topo = engine.topology
@@ -479,6 +501,7 @@ class LabelingService:
             "rounds_phase2_total": engine.total_rounds_phase2,
             "cache": engine.cache.stats(),
             "update_latency_us": latency_percentiles(list(self._latency_us)),
+            "slo": self.slo.evaluate(),
         }
         if self._wal is not None:
             stats["wal"] = {

@@ -40,7 +40,14 @@ process.  Responses to requests that carried ``"seq"`` echo it back, so
 a client can discard stale responses after wire-level duplication.  With
 telemetry attached, each request emits a ``service_request`` event (op,
 outcome, latency), which is what ``repro obs summarize`` turns into
-per-op latency percentiles.
+per-op latency percentiles, and increments the
+``service_requests{op=...,outcome=...}`` counter the admin plane's
+``/metrics`` endpoint exposes; every outcome — answered or rejected —
+also feeds the service's rolling SLO window.  Requests may carry a
+``"trace"`` object (id stable across retries, fresh span id + attempt
+per try); the server binds it onto the spans the dispatch records, so a
+client trace and a server trace stitch into one timeline
+(:func:`repro.obs.spans.stitch_chrome_traces`).
 
 Hardening: request lines longer than ``max_frame`` bytes and lines that
 are not valid UTF-8 are answered with a structured error (the oversized
@@ -72,6 +79,10 @@ from repro.obs.telemetry import Telemetry
 from repro.service.labeling import LabelingService
 
 __all__ = ["LabelingServer", "handle_request", "serve_forever"]
+
+#: Shared no-op telemetry for the untraced dispatch path (every guard
+#: in it stays false, so the cost is a few predictable branches).
+_NULL_TELEMETRY = Telemetry()
 
 
 def _coord_list(value: Any, field: str) -> list:
@@ -186,6 +197,29 @@ def _query(service: LabelingService, request: Dict[str, Any]) -> Dict[str, Any]:
     )
 
 
+def _trace_args(request: Any) -> Dict[str, Any]:
+    """Extract the request frame's trace context into span/event args.
+
+    Clients attach ``{"trace": {"id", "span", "attempt"}}``; the id is
+    stable across retries (one logical request), the span id is fresh
+    per attempt, and the attempt counter distinguishes replays.  The
+    mapping is lenient — a hand-rolled client with a partial or
+    mis-typed trace object still gets served, it just traces less.
+    """
+    trace = request.get("trace") if isinstance(request, dict) else None
+    if not isinstance(trace, dict):
+        return {}
+    args: Dict[str, Any] = {}
+    if isinstance(trace.get("id"), str):
+        args["trace"] = trace["id"]
+    if isinstance(trace.get("span"), str):
+        args["parent"] = trace["span"]
+    attempt = trace.get("attempt")
+    if isinstance(attempt, int) and not isinstance(attempt, bool):
+        args["attempt"] = attempt
+    return args
+
+
 def handle_request(
     service: LabelingService,
     request: Dict[str, Any],
@@ -198,54 +232,78 @@ def handle_request(
     ``{"ok": False, "error": ...}`` responses.  Shared by the socket
     server and the in-process tests, so the protocol has exactly one
     implementation.
+
+    Observability: the dispatch runs under a ``service_request`` span
+    with the frame's trace context *bound* onto every span recorded
+    inside it (so the engine spans an update causes carry the client's
+    trace id — stitched client/server traces line up by id); the
+    ``service_request`` event carries the same context; the
+    ``service_requests{op=...,outcome=...}`` counter and the service's
+    rolling SLO window see every outcome.
     """
     t0 = time.perf_counter()
     op = request.get("op") if isinstance(request, dict) else None
+    op_label = op if isinstance(op, str) else "?"
+    trace_args = _trace_args(request)
+    tel = telemetry if telemetry is not None else _NULL_TELEMETRY
     shutdown = False
-    try:
-        if not isinstance(request, dict):
-            raise ServiceError("request must be a JSON object")
-        if not isinstance(op, str):
-            raise ServiceError("request needs a string 'op' field")
-        guard = lock if lock is not None else threading.Lock()
-        with guard:
-            if op == "ping":
-                response: Dict[str, Any] = {"ok": True, "version": service.version}
-            elif op == "update":
-                response = _update(service, request)
-            elif op == "query":
-                response = {"ok": True, **_query(service, request)}
-            elif op == "snapshot":
-                result = service.snapshot()
-                response = {
-                    "ok": True,
-                    "summary": result.summary(),
-                    "blocks": service.block_summaries(),
-                    "regions": _query(service, {"what": "regions"})["regions"],
-                }
-            elif op == "stats":
-                response = {"ok": True, "stats": service.stats()}
-            elif op == "shutdown":
-                response = {"ok": True, "version": service.version}
-                shutdown = True
-            else:
-                raise ServiceError(f"unknown op {op!r}")
-    except (ReproError, KeyError, TypeError, ValueError) as exc:
-        response = {
-            "ok": False,
-            "error": str(exc),
-            "error_type": type(exc).__name__,
-        }
+    with tel.span_context(**trace_args), tel.span("service_request", op=op_label):
+        try:
+            if not isinstance(request, dict):
+                raise ServiceError("request must be a JSON object")
+            if not isinstance(op, str):
+                raise ServiceError("request needs a string 'op' field")
+            guard = lock if lock is not None else threading.Lock()
+            with guard:
+                if op == "ping":
+                    response: Dict[str, Any] = {
+                        "ok": True,
+                        "version": service.version,
+                    }
+                elif op == "update":
+                    response = _update(service, request)
+                elif op == "query":
+                    response = {"ok": True, **_query(service, request)}
+                elif op == "snapshot":
+                    result = service.snapshot()
+                    response = {
+                        "ok": True,
+                        "summary": result.summary(),
+                        "blocks": service.block_summaries(),
+                        "regions": _query(service, {"what": "regions"})["regions"],
+                    }
+                elif op == "stats":
+                    response = {"ok": True, "stats": service.stats()}
+                elif op == "shutdown":
+                    response = {"ok": True, "version": service.version}
+                    shutdown = True
+                else:
+                    raise ServiceError(f"unknown op {op!r}")
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            response = {
+                "ok": False,
+                "error": str(exc),
+                "error_type": type(exc).__name__,
+            }
     if isinstance(request, dict) and "seq" in request:
         response["seq"] = request["seq"]
     latency_us = 1e6 * (time.perf_counter() - t0)
-    if telemetry is not None and telemetry.wants("info"):
-        telemetry.emit(
+    counter = tel.counter(
+        "service_requests",
+        op=op_label,
+        outcome="ok" if response["ok"] else "error",
+    )
+    if counter is not None:
+        counter.inc()
+    if tel.wants("info"):
+        tel.emit(
             "service_request",
-            op=op if isinstance(op, str) else "?",
+            op=op_label,
             ok=response["ok"],
             latency_us=latency_us,
+            **trace_args,
         )
+    service.record_request(response["ok"], latency_us)
     return response, shutdown
 
 
@@ -263,12 +321,19 @@ class _Handler(socketserver.StreamRequestHandler):
         while True:
             try:
                 line = self.rfile.readline(server.max_frame + 1)
-            except (socket.timeout, OSError, ValueError):
+            except socket.timeout:
+                # An idle-past-deadline connection is a rejection the
+                # client observes (its request, if any, dies unread):
+                # the SLO error budget must see it.
+                server.count_rejection("deadline")
+                return
+            except (OSError, ValueError):
                 return
             if not line:
                 return  # client closed cleanly
             if len(line) > server.max_frame and not line.endswith(b"\n"):
                 intact = self._drain_oversized(server.max_frame)
+                server.count_rejection("oversized")
                 response: Dict[str, Any] = _frame_error(
                     f"request frame exceeds {server.max_frame} bytes"
                 )
@@ -298,6 +363,7 @@ class _Handler(socketserver.StreamRequestHandler):
         try:
             text = stripped.decode("utf-8")
         except UnicodeDecodeError as exc:
+            server.count_rejection("not_utf8")
             return _frame_error(f"request frame is not UTF-8: {exc}"), False
         try:
             request = json.loads(text)
@@ -306,6 +372,10 @@ class _Handler(socketserver.StreamRequestHandler):
         if server.draining:
             return _frame_error("server is draining"), False
         if not server.acquire_slot():
+            op = request.get("op") if isinstance(request, dict) else None
+            server.count_rejection(
+                "overloaded", op=op if isinstance(op, str) else "?"
+            )
             response = {
                 "ok": False,
                 "error": (
@@ -434,6 +504,7 @@ class LabelingServer:
         ):
             setattr(self._server, name, getattr(self, name))
         self._server.count_request = self.count_request  # type: ignore[attr-defined]
+        self._server.count_rejection = self.count_rejection  # type: ignore[attr-defined]
         self._server.exhausted = self.exhausted  # type: ignore[attr-defined]
         self._server.request_shutdown = self.shutdown  # type: ignore[attr-defined]
         self._server.acquire_slot = self.acquire_slot  # type: ignore[attr-defined]
@@ -444,6 +515,33 @@ class LabelingServer:
     def count_request(self) -> None:
         with self._count_lock:
             self._requests_served += 1
+
+    def count_rejection(self, reason: str, op: str = "?") -> None:
+        """Record a request rejected before dispatch (oversized frame,
+        non-UTF-8 frame, connection deadline, load shed).
+
+        Rejections never reach :func:`handle_request`, so this is the
+        path that makes them visible: a
+        ``service_requests{op=...,outcome=<reason>}`` counter increment,
+        a ``service_request`` event (``ok=False``, zero dispatch
+        latency, the reason as a field), and an error fed into the
+        service's rolling SLO window — the error budget sees every
+        failure a client sees.
+        """
+        tel = self.telemetry
+        if tel is not None:
+            counter = tel.counter("service_requests", op=op, outcome=reason)
+            if counter is not None:
+                counter.inc()
+            if tel.wants("info"):
+                tel.emit(
+                    "service_request",
+                    op=op,
+                    ok=False,
+                    latency_us=0.0,
+                    reason=reason,
+                )
+        self.service.record_request(False, 0.0)
 
     def exhausted(self) -> bool:
         with self._count_lock:

@@ -1,0 +1,132 @@
+"""Unit tests for the cross-run regression report (``obs compare``)."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import compare_runs, flatten_numeric, format_compare, load_run_artifact
+from repro.obs.compare import metric_direction
+
+
+class TestFlattenNumeric:
+    def test_nested_objects_become_dotted_paths(self):
+        flat = flatten_numeric(
+            {"a": {"b": 1, "c": {"d": 2.5}}, "top": 3}
+        )
+        assert flat == {"a.b": 1.0, "a.c.d": 2.5, "top": 3.0}
+
+    def test_lists_use_index_components(self):
+        assert flatten_numeric({"xs": [10, 20]}) == {"xs.0": 10.0, "xs.1": 20.0}
+
+    def test_bools_strings_and_nonfinite_skipped(self):
+        flat = flatten_numeric(
+            {"ok": True, "name": "x", "nan": float("nan"),
+             "inf": float("inf"), "v": 1}
+        )
+        assert flat == {"v": 1.0}
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize(
+        "path, direction",
+        [
+            ("incremental.durable.updates_per_sec", "higher"),
+            ("sweep.speedup", "higher"),
+            ("slo.availability", "higher"),
+            ("slo.error_budget_remaining", "higher"),
+            ("service_latency.update.p99", "lower"),
+            ("service_latency.update.errors", "lower"),
+            ("phase_seconds.label_total_s", "lower"),
+            ("request.latency_us", "lower"),
+            ("wal.bytes_per_update_bytes", "lower"),
+            ("admin.overhead", None),  # bare name, no suffix match
+            ("faults", None),
+            ("version", None),
+        ],
+    )
+    def test_inference(self, path, direction):
+        assert metric_direction(path) == direction
+
+
+class TestCompareRuns:
+    def test_regression_flagged_beyond_threshold(self):
+        a = {"latency": {"p99": 100.0}, "updates_per_sec": 50.0}
+        b = {"latency": {"p99": 130.0}, "updates_per_sec": 49.0}
+        deltas = {d.path: d for d in compare_runs(a, b, threshold=0.10)}
+        assert deltas["latency.p99"].regressed is True
+        assert deltas["latency.p99"].improved is False
+        # -2% throughput is inside the threshold: not flagged.
+        assert deltas["updates_per_sec"].regressed is False
+
+    def test_improvement_flagged(self):
+        a = {"p99": 100.0}
+        b = {"p99": 50.0}
+        (delta,) = compare_runs(a, b)
+        assert delta.improved is True and delta.regressed is False
+
+    def test_higher_better_regresses_downward(self):
+        a = {"updates_per_sec": 100.0}
+        b = {"updates_per_sec": 80.0}
+        (delta,) = compare_runs(a, b)
+        assert delta.direction == "higher"
+        assert delta.regressed is True
+
+    def test_only_shared_paths_compared(self):
+        deltas = compare_runs({"a": 1, "b": 2}, {"b": 3, "c": 4})
+        assert [d.path for d in deltas] == ["b"]
+
+    def test_zero_baseline_has_no_relative(self):
+        (delta,) = compare_runs({"errors": 0}, {"errors": 5})
+        assert delta.relative is None
+        assert delta.regressed is False  # cannot judge without a ratio
+
+    def test_informational_metrics_never_flagged(self):
+        (delta,) = compare_runs({"faults": 10}, {"faults": 100})
+        assert delta.direction is None
+        assert not delta.regressed and not delta.improved
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_runs({}, {}, threshold=-0.1)
+
+
+class TestLoadRunArtifact:
+    def test_loads_json_object(self, tmp_path):
+        path = tmp_path / "run.json"
+        path.write_text(json.dumps({"p99": 5}))
+        assert load_run_artifact(str(path)) == {"p99": 5}
+
+    def test_missing_file_raises_observability_error(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="cannot load"):
+            load_run_artifact(str(tmp_path / "nope.json"))
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{truncated")
+        with pytest.raises(ObservabilityError, match="cannot load"):
+            load_run_artifact(str(path))
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ObservabilityError, match="JSON object"):
+            load_run_artifact(str(path))
+
+
+class TestFormatCompare:
+    def test_report_shape(self):
+        deltas = compare_runs({"p99": 100.0, "faults": 1}, {"p99": 150.0, "faults": 1})
+        report = format_compare(deltas, label_a="old.json", label_b="new.json")
+        assert "old.json -> new.json" in report
+        assert "1 regressed" in report
+        assert "REGRESSED" in report
+        assert "p99" in report
+        # Informational metrics hidden by default...
+        assert "faults" not in report
+        # ...but shown with show_all.
+        assert "faults" in format_compare(deltas, show_all=True)
+
+    def test_empty_comparison(self):
+        report = format_compare([])
+        assert "no shared numeric metrics" in report

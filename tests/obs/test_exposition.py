@@ -1,0 +1,224 @@
+"""Unit tests for Prometheus text exposition and the admin endpoint.
+
+The round-trip test is the load-bearing one: a live ``/metrics`` scrape
+must agree *exactly* with ``MetricsRegistry.snapshot()``, because the
+registry is the same object the RunStats property tests pin bit-for-bit
+and the CI scrape check compares against.
+"""
+
+import http.client
+import json
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    AdminServer,
+    MetricsRegistry,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.exposition import CONTENT_TYPE
+
+
+def _populated_registry():
+    reg = MetricsRegistry()
+    reg.counter("requests", op="ping", outcome="ok").inc(3)
+    reg.counter("requests", op="update", outcome="error").inc()
+    reg.counter("plain").inc(7)
+    reg.gauge("inflight").set(2)
+    h = reg.histogram("latency_us", op="update")
+    for v in (10.0, 20.0, 90.0):
+        h.observe(v)
+    return reg
+
+
+class TestRenderPrometheus:
+    def test_round_trip_agrees_with_snapshot_exactly(self):
+        reg = _populated_registry()
+        parsed = parse_prometheus(render_prometheus(reg))
+        snap = reg.snapshot()
+        assert set(parsed["counters"]) == set(snap["counters"])
+        for key, value in snap["counters"].items():
+            assert parsed["counters"][key] == float(value)
+        for key, value in snap["gauges"].items():
+            assert parsed["gauges"][key] == float(value)
+        assert set(parsed["summaries"]) == set(snap["histograms"])
+        for key, hist in snap["histograms"].items():
+            got = parsed["summaries"][key]
+            assert got["count"] == float(hist["count"])
+            assert got["sum"] == float(hist["sum"])
+            assert got["min"] == float(hist["min"])
+            assert got["max"] == float(hist["max"])
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert parse_prometheus("") == {
+            "counters": {}, "gauges": {}, "summaries": {},
+        }
+
+    def test_series_grouped_under_one_type_header(self):
+        reg = _populated_registry()
+        text = render_prometheus(reg)
+        assert text.count("# TYPE requests counter") == 1
+        assert text.count("# TYPE latency_us summary") == 1
+        # Deterministic output: same registry renders identically.
+        assert text == render_prometheus(reg)
+
+    def test_integer_values_render_without_float_noise(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(5)
+        assert "c 5\n" in render_prometheus(reg)
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", k='a"b\\c\nd').inc()
+        text = render_prometheus(reg)
+        assert 'k="a\\"b\\\\c\\nd"' in text
+        # And the escaped form still parses as one counter sample.
+        parsed = parse_prometheus(text)
+        assert list(parsed["counters"].values()) == [1.0]
+
+    def test_empty_histogram_min_max_render_nan(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        text = render_prometheus(reg)
+        assert "h_min NaN" in text and "h_max NaN" in text
+        parsed = parse_prometheus(text)
+        assert math.isnan(parsed["summaries"]["h"]["min"])
+        assert parsed["summaries"]["h"]["count"] == 0.0
+
+
+class TestParsePrometheus:
+    def test_help_comments_are_ignored(self):
+        text = "# HELP c helpful words\n# TYPE c counter\nc 1\n"
+        assert parse_prometheus(text)["counters"]["c"] == 1.0
+
+    @pytest.mark.parametrize(
+        "text, match",
+        [
+            ("c 1\n", "no # TYPE"),
+            ("# TYPE c counter\nc one\n", "bad sample value"),
+            ("# TYPE c histogram\nc 1\n", "unknown metric type"),
+            ("# TYPE c\nc 1\n", "malformed comment"),
+            ('# TYPE c counter\nc{k="v" 1\n', "unbalanced label braces"),
+            ("# TYPE c counter\nc\n", "expected 'name value'"),
+            ('# TYPE c counter\nc{k="v"} 1 2\n', "one value after labels"),
+        ],
+    )
+    def test_malformed_exposition_rejected_with_line(self, text, match):
+        with pytest.raises(ObservabilityError, match=match):
+            parse_prometheus(text)
+
+    def test_error_names_the_line_number(self):
+        with pytest.raises(ObservabilityError, match="line 2"):
+            parse_prometheus("# TYPE c counter\nbogus 1\n")
+
+
+def _get(address, path):
+    host, port = address
+    conn = http.client.HTTPConnection(host, port, timeout=5)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+class TestAdminServer:
+    def test_metrics_endpoint_matches_renderer(self):
+        reg = _populated_registry()
+        with AdminServer(metrics=reg) as admin:
+            status, headers, body = _get(admin.address, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == CONTENT_TYPE
+        assert body.decode("utf-8") == render_prometheus(reg)
+
+    def test_scrape_does_not_mutate_the_registry(self):
+        reg = _populated_registry()
+        before = reg.snapshot()
+        with AdminServer(metrics=reg) as admin:
+            for _ in range(3):
+                _get(admin.address, "/metrics")
+        assert reg.snapshot() == before
+
+    def test_metrics_without_registry_serves_empty(self):
+        with AdminServer() as admin:
+            status, _, body = _get(admin.address, "/metrics")
+        assert status == 200 and body == b""
+
+    def test_healthz_always_ok(self):
+        with AdminServer() as admin:
+            status, _, body = _get(admin.address, "/healthz")
+        assert status == 200 and body == b"ok\n"
+
+    def test_readyz_gates_on_probe(self):
+        ready = {"value": False}
+        with AdminServer(ready=lambda: ready["value"]) as admin:
+            status, _, body = _get(admin.address, "/readyz")
+            assert status == 503 and b"not ready" in body
+            ready["value"] = True
+            status, _, body = _get(admin.address, "/readyz")
+            assert status == 200 and body == b"ready\n"
+
+    def test_readyz_broken_probe_is_not_ready(self):
+        def probe():
+            raise RuntimeError("recovery still running")
+
+        with AdminServer(ready=probe) as admin:
+            status, _, body = _get(admin.address, "/readyz")
+        assert status == 503
+        assert b"recovery still running" in body
+
+    def test_readyz_default_is_ready(self):
+        with AdminServer() as admin:
+            status, _, _ = _get(admin.address, "/readyz")
+        assert status == 200
+
+    def test_varz_serves_caller_document(self):
+        calls = []
+
+        def varz():
+            calls.append(1)
+            return {"faults": 3, "version": 7}
+
+        with AdminServer(varz=varz) as admin:
+            status, headers, body = _get(admin.address, "/varz")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        assert json.loads(body) == {"faults": 3, "version": 7}
+        assert calls  # evaluated per request, not captured at start
+
+    def test_varz_without_callable_serves_empty_object(self):
+        with AdminServer() as admin:
+            _, _, body = _get(admin.address, "/varz")
+        assert json.loads(body) == {}
+
+    def test_unknown_path_is_404(self):
+        with AdminServer() as admin:
+            status, _, _ = _get(admin.address, "/nope")
+        assert status == 404
+
+    def test_broken_varz_yields_500_not_a_dead_server(self):
+        def varz():
+            raise RuntimeError("boom")
+
+        with AdminServer(varz=varz) as admin:
+            status, _, body = _get(admin.address, "/varz")
+            assert status == 500 and b"boom" in body
+            # The admin thread survived the exception.
+            status, _, _ = _get(admin.address, "/healthz")
+            assert status == 200
+
+    def test_close_is_idempotent(self):
+        admin = AdminServer()
+        admin.start()
+        admin.close()
+        admin.close()  # second close must be a no-op
+
+    def test_ephemeral_port_is_bound(self):
+        with AdminServer() as admin:
+            host, port = admin.address
+        assert host == "127.0.0.1" and port > 0

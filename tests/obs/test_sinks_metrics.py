@@ -143,3 +143,75 @@ class TestMetricsRegistry:
         c = reg.counter("c")
         c.inc(2)
         assert isinstance(reg.snapshot()["counters"]["c"], int)
+
+
+class TestJSONLSinkFlushPolicy:
+    def test_flush_every_makes_lines_visible_while_open(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JSONLSink(str(path), flush_every=2)
+        try:
+            sink.emit(_ev(seq=1))
+            sink.emit(_ev(seq=2))  # hits the flush boundary
+            lines = path.read_text().splitlines()
+            assert len(lines) == 2  # readable before close
+        finally:
+            sink.close()
+
+    def test_default_policy_defers_to_close(self, tmp_path):
+        # No flush_every: nothing is promised before close, everything
+        # after.
+        path = tmp_path / "t.jsonl"
+        sink = JSONLSink(str(path))
+        for i in range(3):
+            sink.emit(_ev(seq=i))
+        sink.close()
+        assert len(path.read_text().splitlines()) == 3
+
+    def test_flush_every_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_every"):
+            JSONLSink(str(tmp_path / "t.jsonl"), flush_every=0)
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JSONLSink(str(tmp_path / "t.jsonl"))
+        sink.emit(_ev())
+        sink.close()
+        sink.close()  # second close: no-op, no raise
+
+    def test_flush_after_close_is_a_noop(self, tmp_path):
+        sink = JSONLSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        sink.flush()  # must not raise on a closed sink
+
+    def test_concurrent_close_from_two_threads(self, tmp_path):
+        import threading
+
+        sink = JSONLSink(str(tmp_path / "t.jsonl"))
+        sink.emit(_ev())
+        threads = [threading.Thread(target=sink.close) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+
+    def test_path_property(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with JSONLSink(path) as sink:
+            assert sink.path == path
+
+
+class TestRegistrySeries:
+    def test_series_iterates_every_kind_sorted(self):
+        from repro.obs.metrics import Counter, Gauge
+
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a", k="v").inc(2)
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(5)
+        rows = list(reg.series())
+        names = [name for name, _, _ in rows]
+        assert names == sorted(names)
+        kinds = {name: type(series) for name, _, series in rows}
+        assert kinds["a"] is Counter and kinds["g"] is Gauge
+        labeled = next(labels for name, labels, _ in rows if name == "a")
+        assert labeled == (("k", "v"),)

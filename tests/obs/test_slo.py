@@ -1,0 +1,143 @@
+"""Unit tests for rolling-window SLO evaluation."""
+
+import threading
+
+import pytest
+
+from repro.obs import SLOConfig, SLOTracker, evaluate_outcomes
+
+
+class TestSLOConfig:
+    def test_defaults_are_valid(self):
+        cfg = SLOConfig()
+        assert cfg.window == 1024 and cfg.latency_quantile == 0.99
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"latency_quantile": 0.0},
+            {"latency_quantile": 1.5},
+            {"availability_target": 0.0},
+            {"availability_target": 1.1},
+            {"window": 0},
+            {"latency_objective_us": 0.0},
+            {"latency_objective_us": -5.0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOConfig(**kwargs)
+
+
+class TestEvaluateOutcomes:
+    def test_empty_window_is_vacuously_ok(self):
+        result = evaluate_outcomes([], SLOConfig())
+        assert result["count"] == 0
+        assert result["availability"] == 1.0
+        assert result["latency_quantile_us"] == 0.0
+        assert result["ok"] is True
+
+    def test_all_ok_under_objective(self):
+        cfg = SLOConfig(latency_objective_us=100.0)
+        result = evaluate_outcomes([(True, 50.0)] * 10, cfg)
+        assert result["errors"] == 0
+        assert result["availability"] == 1.0
+        assert result["latency_quantile_us"] == 50.0
+        assert result["ok"] is True
+
+    def test_latency_violation_flips_latency_ok_only(self):
+        cfg = SLOConfig(latency_objective_us=100.0, latency_quantile=1.0)
+        result = evaluate_outcomes([(True, 50.0), (True, 500.0)], cfg)
+        assert result["availability_ok"] is True
+        assert result["latency_quantile_us"] == 500.0
+        assert result["latency_ok"] is False
+        assert result["ok"] is False
+
+    def test_error_budget_accounting(self):
+        cfg = SLOConfig(availability_target=0.9)
+        outcomes = [(True, 1.0)] * 8 + [(False, 0.0)] * 2
+        result = evaluate_outcomes(outcomes, cfg)
+        assert result["count"] == 10 and result["errors"] == 2
+        assert result["availability"] == pytest.approx(0.8)
+        assert result["error_budget_total"] == pytest.approx(1.0)
+        assert result["error_budget_spent"] == 2.0
+        assert result["error_budget_remaining"] == 0.0  # floored
+        assert result["availability_ok"] is False
+
+    def test_budget_within_allowance_stays_ok(self):
+        cfg = SLOConfig(availability_target=0.5)
+        result = evaluate_outcomes([(True, 1.0), (True, 1.0), (False, 0.0)], cfg)
+        assert result["availability_ok"] is True
+        assert result["error_budget_remaining"] > 0.0
+
+    def test_quantile_covers_successes_only(self):
+        # Rejected requests answer in ~0 µs; they must not flatter the
+        # latency percentile.
+        cfg = SLOConfig(
+            latency_objective_us=100.0,
+            latency_quantile=0.5,
+            availability_target=0.1,
+        )
+        outcomes = [(False, 0.0)] * 50 + [(True, 80.0)]
+        result = evaluate_outcomes(outcomes, cfg)
+        assert result["latency_quantile_us"] == 80.0
+        assert result["latency_ok"] is True
+
+    def test_all_error_window_has_zero_quantile(self):
+        result = evaluate_outcomes([(False, 0.0)] * 5, SLOConfig())
+        assert result["latency_quantile_us"] == 0.0
+        assert result["latency_ok"] is True  # nothing to measure
+        assert result["availability"] == 0.0
+        assert result["ok"] is False
+
+    def test_nearest_rank_quantile(self):
+        cfg = SLOConfig(latency_quantile=0.99)
+        outcomes = [(True, float(i)) for i in range(1, 101)]
+        result = evaluate_outcomes(outcomes, cfg)
+        assert result["latency_quantile_us"] == 99.0
+
+    def test_result_is_json_ready(self):
+        import json
+
+        result = evaluate_outcomes([(True, 1.0)], SLOConfig())
+        assert json.loads(json.dumps(result)) == result
+
+
+class TestSLOTracker:
+    def test_window_evicts_oldest(self):
+        tracker = SLOTracker(SLOConfig(window=4))
+        for _ in range(6):
+            tracker.record(False, 0.0)
+        for _ in range(4):
+            tracker.record(True, 10.0)
+        assert len(tracker) == 4
+        result = tracker.evaluate()
+        # The errors rolled out of the window but stay in the lifetime
+        # totals.
+        assert result["errors"] == 0
+        assert result["total"] == 10 and result["total_errors"] == 6
+
+    def test_evaluate_matches_pure_core(self):
+        cfg = SLOConfig(latency_objective_us=100.0)
+        tracker = SLOTracker(cfg)
+        outcomes = [(True, 10.0), (False, 0.0), (True, 30.0)]
+        for ok, lat in outcomes:
+            tracker.record(ok, lat)
+        expected = evaluate_outcomes(outcomes, cfg)
+        got = tracker.evaluate()
+        assert {k: got[k] for k in expected} == expected
+
+    def test_concurrent_records_are_not_lost(self):
+        tracker = SLOTracker(SLOConfig(window=10_000))
+
+        def worker():
+            for _ in range(500):
+                tracker.record(True, 1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        result = tracker.evaluate()
+        assert result["count"] == 2000 and result["total"] == 2000

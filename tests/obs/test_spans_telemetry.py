@@ -22,12 +22,21 @@ class TestSpanRecorder:
             with rec.span("inner"):
                 pass
         trace = rec.to_chrome_trace()
-        names = [e["name"] for e in trace["traceEvents"]]
-        assert set(names) == {"outer", "inner"}
-        for e in trace["traceEvents"]:
-            assert e["ph"] == "X"
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in spans} == {"outer", "inner"}
+        for e in spans:
             assert e["dur"] >= 0
             assert e["ts"] >= 0
+
+    def test_export_carries_process_name_and_origin(self):
+        rec = SpanRecorder("server")
+        with rec.span("a"):
+            pass
+        trace = rec.to_chrome_trace()
+        meta = trace["traceEvents"][0]
+        assert meta["ph"] == "M" and meta["name"] == "process_name"
+        assert meta["args"] == {"name": "server"}
+        assert isinstance(trace["originUnix"], float)
 
     def test_nesting_by_containment(self):
         rec = SpanRecorder()
@@ -53,7 +62,43 @@ class TestSpanRecorder:
         path = tmp_path / "trace.json"
         rec.write(str(path))
         data = load_chrome_trace(str(path))
-        assert data["traceEvents"][0]["args"] == {"node": [1, 2]}
+        spans = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert spans[0]["args"] == {"node": [1, 2]}
+
+    def test_context_binds_args_onto_spans(self):
+        rec = SpanRecorder()
+        with rec.context(trace="t1", attempt=0):
+            with rec.span("outer"):
+                with rec.span("inner", attempt=7):
+                    pass
+        with rec.span("outside"):
+            pass
+        by_name = {
+            e["name"]: e["args"]
+            for e in rec.to_chrome_trace()["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert by_name["outer"] == {"trace": "t1", "attempt": 0}
+        # Explicit span args win over bound ones.
+        assert by_name["inner"] == {"trace": "t1", "attempt": 7}
+        # Bindings end with the context.
+        assert by_name["outside"] == {}
+
+    def test_context_nesting_shadows_and_restores(self):
+        rec = SpanRecorder()
+        with rec.context(trace="t1"):
+            with rec.context(trace="t2", extra=1):
+                with rec.span("deep"):
+                    pass
+            with rec.span("shallow"):
+                pass
+        by_name = {
+            e["name"]: e["args"]
+            for e in rec.to_chrome_trace()["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert by_name["deep"] == {"trace": "t2", "extra": 1}
+        assert by_name["shallow"] == {"trace": "t1"}
 
 
 class TestChromeTraceLoader:
@@ -68,7 +113,8 @@ class TestChromeTraceLoader:
             pass
         path = tmp_path / "trace.json"
         rec.write(str(path))
-        assert len(load_chrome_trace(str(path))["traceEvents"]) == 1
+        events = load_chrome_trace(str(path))["traceEvents"]
+        assert [e["ph"] for e in events] == ["M", "X"]
 
     def test_rejects_bare_array(self, tmp_path):
         with pytest.raises(ObservabilityError, match="traceEvents"):

@@ -113,3 +113,43 @@ def test_latency_percentiles_nearest_rank():
         "max": 100.0,
     }
     assert latency_percentiles([])["count"] == 0.0
+
+
+def test_latency_percentiles_empty_window_is_all_zeros():
+    pct = latency_percentiles([])
+    assert pct == {
+        "count": 0.0, "errors": 0.0,
+        "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0,
+    }
+
+
+def test_latency_percentiles_single_sample_saturates_every_rank():
+    pct = latency_percentiles([42.0])
+    assert pct["p50"] == pct["p90"] == pct["p99"] == pct["max"] == 42.0
+    assert pct["count"] == 1.0
+
+
+def test_latency_percentiles_all_error_op_keeps_error_count():
+    # An op whose every request failed has no latency samples but must
+    # still report its errors.
+    pct = latency_percentiles([], errors=7)
+    assert pct["count"] == 0.0 and pct["errors"] == 7.0
+    assert pct["p99"] == 0.0 and pct["max"] == 0.0
+
+
+def test_stats_carries_the_slo_evaluation():
+    from repro.obs import SLOConfig
+
+    service = LabelingService(
+        Mesh2D(16, 16),
+        faults=FAULTS,
+        slo=SLOConfig(window=8, availability_target=0.5),
+    )
+    for _ in range(3):
+        service.record_request(True, 100.0)
+    service.record_request(False, 0.0)
+    slo = service.stats()["slo"]
+    assert slo["count"] == 4 and slo["errors"] == 1
+    assert slo["config"]["window"] == 8
+    assert slo["availability_ok"] is True  # 0.75 >= 0.5
+    assert slo["total"] == 4

@@ -477,3 +477,151 @@ class TestServerHardening:
         thread.join(timeout=5)
         assert read_clean_marker(str(tmp_path))
         assert "snapshot.json" in list_state(str(tmp_path))
+
+
+class TestRequestAccounting:
+    """Every answered *and* rejected request lands in the
+    ``service_requests`` counter family and the service's SLO window."""
+
+    def _traced_server(self, service, **kwargs):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        telemetry = Telemetry(metrics=registry)
+        server = LabelingServer(service, telemetry=telemetry, **kwargs)
+        return server, registry
+
+    def test_dispatch_counts_ok_and_error_outcomes(self, service):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        telemetry = Telemetry(metrics=registry)
+        handle_request(service, {"op": "ping"}, telemetry=telemetry)
+        handle_request(service, {"op": "nope"}, telemetry=telemetry)
+        counters = registry.snapshot()["counters"]
+        assert counters['service_requests{op="ping",outcome="ok"}'] == 1
+        assert counters['service_requests{op="nope",outcome="error"}'] == 1
+
+    def test_dispatch_feeds_the_slo_window(self, service):
+        handle_request(service, {"op": "ping"})
+        handle_request(service, {"op": "nope"})
+        slo = service.stats()["slo"]
+        assert slo["count"] == 2 and slo["errors"] == 1
+
+    def test_oversized_frame_counted_as_rejection(self, service):
+        server, registry = self._traced_server(service, max_frame=128)
+        host, port = server.address
+
+        def talk():
+            sock = socket_module.create_connection((host, port), timeout=5)
+            try:
+                rfile = sock.makefile("rb")
+                sock.sendall(b'{"op": "ping", "pad": "' + b"x" * 400 + b'"}\n')
+                assert json.loads(rfile.readline())["ok"] is False
+            finally:
+                sock.close()
+
+        _with_server(server, talk)
+        counters = registry.snapshot()["counters"]
+        assert counters['service_requests{op="?",outcome="oversized"}'] == 1
+        assert service.stats()["slo"]["errors"] >= 1
+
+    def test_non_utf8_frame_counted_as_rejection(self, service):
+        server, registry = self._traced_server(service)
+        host, port = server.address
+
+        def talk():
+            sock = socket_module.create_connection((host, port), timeout=5)
+            try:
+                rfile = sock.makefile("rb")
+                sock.sendall(b'{"op": "ping", "x": "\xff\xfe"}\n')
+                assert json.loads(rfile.readline())["ok"] is False
+            finally:
+                sock.close()
+
+        _with_server(server, talk)
+        counters = registry.snapshot()["counters"]
+        assert counters['service_requests{op="?",outcome="not_utf8"}'] == 1
+
+    def test_connection_deadline_counted_as_rejection(self, service):
+        server, registry = self._traced_server(service, conn_timeout=0.2)
+        host, port = server.address
+
+        def talk():
+            sock = socket_module.create_connection((host, port), timeout=5)
+            try:
+                assert sock.makefile("rb").readline() == b""
+            finally:
+                sock.close()
+
+        _with_server(server, talk)
+        counters = registry.snapshot()["counters"]
+        assert counters['service_requests{op="?",outcome="deadline"}'] == 1
+        assert service.stats()["slo"]["errors"] >= 1
+
+    def test_load_shed_counted_as_rejection_with_op(self, service):
+        server, registry = self._traced_server(service, max_inflight=1)
+        host, port = server.address
+        thread = server.serve_in_thread()
+        release = threading.Event()
+        entered = threading.Event()
+        original_apply = service.apply_batch
+
+        def slow_apply(*args, **kwargs):
+            entered.set()
+            release.wait(timeout=10)
+            return original_apply(*args, **kwargs)
+
+        service.apply_batch = slow_apply
+        try:
+            blocker = ServiceClient.connect_tcp(host, port, retries=0)
+            prober = ServiceClient.connect_tcp(host, port, retries=0)
+            slow = threading.Thread(
+                target=lambda: blocker.request(
+                    {"op": "update", "inject": [[12, 12]]}
+                ),
+                daemon=True,
+            )
+            slow.start()
+            assert entered.wait(timeout=5)
+            response = prober.request({"op": "ping"})
+            assert response["error_type"] == "ServiceOverloadedError"
+            release.set()
+            slow.join(timeout=5)
+            blocker.close()
+            prober.close()
+        finally:
+            service.apply_batch = original_apply
+            release.set()
+            server.shutdown()
+            thread.join(timeout=5)
+            server.close()
+        counters = registry.snapshot()["counters"]
+        assert counters['service_requests{op="ping",outcome="overloaded"}'] == 1
+
+    def test_rejection_events_reach_the_summary(self, service, tmp_path):
+        """Rejections emit schema-valid ``service_request`` events the
+        offline summarize SLO grades alongside dispatched requests."""
+        trace = tmp_path / "t.jsonl"
+        telemetry = Telemetry(sinks=[JSONLSink(str(trace))])
+        server = LabelingServer(service, telemetry=telemetry, max_frame=128)
+        host, port = server.address
+
+        def talk():
+            sock = socket_module.create_connection((host, port), timeout=5)
+            try:
+                rfile = sock.makefile("rb")
+                sock.sendall(b'{"op": "ping", "pad": "' + b"y" * 400 + b'"}\n')
+                rfile.readline()
+                sock.sendall(b'{"op": "ping"}\n')
+                rfile.readline()
+            finally:
+                sock.close()
+
+        _with_server(server, talk)
+        telemetry.close()
+        assert validate_jsonl(str(trace)) >= 2
+        summary = summarize_trace(str(trace))
+        assert summary.slo is not None
+        assert summary.slo["errors"] >= 1
+        assert summary.service_latency["?"]["errors"] >= 1.0

@@ -1,0 +1,248 @@
+"""Distributed tracing: client and server spans stitch into one trace.
+
+The client attaches a ``trace`` context (trace id, span id, attempt) to
+every NDJSON frame; the server binds it onto the spans recorded while
+dispatching that frame.  Stitching the two recorders' exports must then
+produce a single Chrome trace where every server ``service_request``
+span carries the trace id of the client attempt that caused it — even
+under a chaos proxy forcing drops and retries.
+"""
+
+import json
+import socket as socket_module
+
+import pytest
+
+from repro.mesh import Mesh2D
+from repro.obs import (
+    MetricsRegistry,
+    SpanRecorder,
+    Telemetry,
+    load_chrome_trace,
+    stitch_chrome_traces,
+)
+from repro.service import (
+    ChaosProxy,
+    LabelingServer,
+    LabelingService,
+    ServiceClient,
+    handle_request,
+)
+
+
+def _serve(service, telemetry=None):
+    server = LabelingServer(service, conn_timeout=5.0, telemetry=telemetry)
+    thread = server.serve_in_thread()
+    return server, thread
+
+
+def _stop(server, thread):
+    server.shutdown()
+    thread.join(timeout=5)
+    server.close()
+
+
+def _spans(recorder, name=None):
+    events = [
+        e for e in recorder.to_chrome_trace()["traceEvents"] if e["ph"] == "X"
+    ]
+    if name is None:
+        return events
+    return [e for e in events if e["name"] == name]
+
+
+class TestTraceContextPropagation:
+    def test_frame_carries_trace_context(self):
+        """Every retried frame reuses the trace id with a fresh span id
+        and a bumped attempt."""
+        service = LabelingService(Mesh2D(8, 8))
+        server, thread = _serve(service)
+        host, port = server.address
+        client = ServiceClient.connect_tcp(host, port, retries=3, backoff=0.01)
+        seen = []
+        original = client.request
+
+        def spying_request(payload):
+            seen.append(json.loads(json.dumps(payload.get("trace"))))
+            return original(payload)
+
+        client.request = spying_request
+        try:
+            client.ping()
+            # Force one transport failure mid-update: the retry must
+            # reuse the trace id.
+            client._sock.shutdown(socket_module.SHUT_RDWR)
+            client.update(inject=[(2, 2)])
+        finally:
+            client.close()
+            _stop(server, thread)
+        assert all(
+            set(t) == {"id", "span", "attempt"} for t in seen if t is not None
+        )
+        update_frames = seen[1:]
+        assert len(update_frames) >= 2  # the failed attempt plus the retry
+        assert len({t["id"] for t in update_frames}) == 1
+        assert len({t["span"] for t in update_frames}) == len(update_frames)
+        assert [t["attempt"] for t in update_frames] == list(
+            range(len(update_frames))
+        )
+
+    def test_server_binds_trace_context_onto_spans(self):
+        service = LabelingService(Mesh2D(8, 8))
+        recorder = SpanRecorder("server")
+        telemetry = Telemetry(spans=recorder, metrics=MetricsRegistry())
+        request = {
+            "op": "ping",
+            "trace": {"id": "t" * 16, "span": "s" * 16, "attempt": 2},
+        }
+        response, _ = handle_request(service, request, telemetry=telemetry)
+        assert response["ok"]
+        (span,) = _spans(recorder, "service_request")
+        assert span["args"]["trace"] == "t" * 16
+        assert span["args"]["parent"] == "s" * 16
+        assert span["args"]["attempt"] == 2
+        assert span["args"]["op"] == "ping"
+
+    def test_malformed_trace_context_is_ignored(self):
+        service = LabelingService(Mesh2D(8, 8))
+        recorder = SpanRecorder("server")
+        telemetry = Telemetry(spans=recorder)
+        for bogus in (17, "x", {"id": 9, "span": [], "attempt": "one"}, None):
+            response, _ = handle_request(
+                service, {"op": "ping", "trace": bogus}, telemetry=telemetry
+            )
+            assert response["ok"]
+        for span in _spans(recorder, "service_request"):
+            assert "trace" not in span["args"]
+            assert "parent" not in span["args"]
+
+    def test_engine_spans_inherit_the_trace_binding(self):
+        """The context rides down into the dispatch's inner spans, not
+        just the service_request wrapper."""
+        recorder = SpanRecorder("server")
+        telemetry = Telemetry(spans=recorder)
+        service = LabelingService(Mesh2D(8, 8), telemetry=telemetry)
+        handle_request(
+            service,
+            {
+                "op": "update",
+                "inject": [[2, 2]],
+                "trace": {"id": "abc", "span": "def", "attempt": 0},
+            },
+            telemetry=telemetry,
+        )
+        inner = [
+            s for s in _spans(recorder) if s["name"] != "service_request"
+        ]
+        assert inner, "update dispatch must record inner spans"
+        for span in inner:
+            assert span["args"]["trace"] == "abc"
+
+
+class TestStitchedChaosTrace:
+    def test_chaos_run_stitches_into_one_parented_trace(self, tmp_path):
+        """Satellite: drops + retries through the chaos proxy still
+        yield a single stitched Chrome trace in which every server
+        request span has a client parent and retries are told apart by
+        their attempt tags."""
+        client_rec = SpanRecorder("client")
+        server_rec = SpanRecorder("server")
+        service = LabelingService(Mesh2D(16, 16))
+        server, thread = _serve(service, telemetry=Telemetry(spans=server_rec))
+        try:
+            with ChaosProxy(
+                server.address,
+                seed=7,
+                drop_prob=0.25,
+                dup_prob=0.15,
+            ) as proxy:
+                host, port = proxy.address
+                client = ServiceClient.connect_tcp(
+                    host,
+                    port,
+                    retries=8,
+                    backoff=0.01,
+                    telemetry=Telemetry(spans=client_rec),
+                )
+                with client:
+                    for i in range(8):
+                        client.update(inject=[(i, i)])
+                assert proxy.stats["dropped"] >= 1  # chaos actually bit
+        finally:
+            _stop(server, thread)
+
+        client_spans = _spans(client_rec, "client_request")
+        server_spans = _spans(server_rec, "service_request")
+        assert len(client_spans) > 8  # at least one retry happened
+        attempts_by_trace = {}
+        for span in client_spans:
+            attempts_by_trace.setdefault(span["args"]["trace"], []).append(
+                span["args"]["attempt"]
+            )
+        # One trace id per logical request; retries distinguishable by
+        # strictly increasing attempt tags within a trace.
+        assert len(attempts_by_trace) == 8
+        assert any(len(a) > 1 for a in attempts_by_trace.values())
+        for attempts in attempts_by_trace.values():
+            assert attempts == list(range(len(attempts)))
+
+        # Every server span is parented by exactly one client attempt:
+        # same trace id, and its parent is that attempt's span id.
+        client_span_ids = {
+            (s["args"]["trace"], s["args"]["span"]) for s in client_spans
+        }
+        assert server_spans
+        for span in server_spans:
+            key = (span["args"]["trace"], span["args"]["parent"])
+            assert key in client_span_ids
+
+        # The stitched export is one valid Chrome trace: both recorders
+        # merge onto one timeline with distinct pid rows.
+        stitched = stitch_chrome_traces(
+            [client_rec.to_chrome_trace(), server_rec.to_chrome_trace()]
+        )
+        path = tmp_path / "stitched.json"
+        path.write_text(json.dumps(stitched))
+        loaded = load_chrome_trace(str(path))
+        pids = {e["pid"] for e in loaded["traceEvents"]}
+        assert pids == {0, 1}
+        names = {
+            e["args"]["name"]
+            for e in loaded["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {"client", "server"}
+
+    def test_stitched_timestamps_nest_server_inside_client(self):
+        """With wall-clock anchors the server's work lands inside the
+        client span that caused it."""
+        client_rec = SpanRecorder("client")
+        server_rec = SpanRecorder("server")
+        service = LabelingService(Mesh2D(8, 8))
+        server, thread = _serve(service, telemetry=Telemetry(spans=server_rec))
+        host, port = server.address
+        try:
+            with ServiceClient.connect_tcp(
+                host, port, telemetry=Telemetry(spans=client_rec)
+            ) as client:
+                client.update(inject=[(3, 3)])
+        finally:
+            _stop(server, thread)
+        stitched = stitch_chrome_traces(
+            [client_rec.to_chrome_trace(), server_rec.to_chrome_trace()]
+        )
+        spans = [e for e in stitched["traceEvents"] if e["ph"] == "X"]
+        update_client = next(
+            e for e in spans if e["name"] == "client_request"
+            and e["args"]["op"] == "update"
+        )
+        update_server = next(
+            e for e in spans if e["name"] == "service_request"
+            and e["args"]["op"] == "update"
+        )
+        slack_us = 50_000  # wall-clock anchors are not perf_counter-exact
+        assert (
+            update_client["ts"] - slack_us
+            <= update_server["ts"]
+            <= update_client["ts"] + update_client["dur"] + slack_us
+        )

@@ -412,3 +412,272 @@ class TestObsCommand:
         capsys.readouterr()
         # Forcing the wrong kind must fail loudly, not mislabel success.
         assert main(["obs", "validate", str(trace), "--kind", "spans"]) == 1
+
+
+class TestServeAdminPlane:
+    def _serve_thread(self, argv):
+        import threading
+
+        result = {}
+
+        def run():
+            result["rc"] = main(argv)
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        return thread, result
+
+    def _wait_for(self, capsys, prefixes):
+        import time
+
+        found = {}
+        lines = []
+        for _ in range(200):
+            lines.extend(capsys.readouterr().out.splitlines())
+            for line in lines:
+                for prefix in prefixes:
+                    if line.startswith(prefix):
+                        found[prefix] = line.split()[-1]
+            if len(found) == len(prefixes):
+                return found
+            time.sleep(0.05)
+        raise AssertionError(f"server never printed {prefixes}: {lines}")
+
+    def _get(self, addr, path):
+        import http.client
+
+        host, port = addr.rsplit(":", 1)
+        conn = http.client.HTTPConnection(host, int(port), timeout=5)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            return response.status, response.read().decode("utf-8")
+        finally:
+            conn.close()
+
+    def test_admin_plane_round_trip(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import parse_prometheus
+        from repro.service import ServiceClient
+
+        thread, result = self._serve_thread(
+            [
+                "serve", "--size", "16", "--faults", "4", "--seed", "2",
+                "--port", "0", "--admin-port", "0", "--max-requests", "3",
+            ]
+        )
+        found = self._wait_for(capsys, ["listening on ", "admin on "])
+        host, port = found["listening on "].rsplit(":", 1)
+        admin = found["admin on "]
+
+        # Liveness and readiness come up before any request.
+        status, body = self._get(admin, "/healthz")
+        assert status == 200 and body == "ok\n"
+        status, body = self._get(admin, "/readyz")
+        assert status == 200 and body == "ready\n"
+
+        with ServiceClient.connect_tcp(host, int(port)) as client:
+            client.ping()
+            client.update(inject=[(5, 5)])
+
+            # A live scrape parses as Prometheus text and carries the
+            # request counters the dispatch path incremented.
+            status, text = self._get(admin, "/metrics")
+            assert status == 200
+            parsed = parse_prometheus(text)
+            counters = parsed["counters"]
+            assert counters['service_requests{op="ping",outcome="ok"}'] == 1.0
+            assert counters['service_requests{op="update",outcome="ok"}'] == 1.0
+
+            # /varz is the live stats document, SLO included.
+            status, body = self._get(admin, "/varz")
+            assert status == 200
+            varz = json.loads(body)
+            assert varz["faults"] == 5
+            assert varz["slo"]["count"] == 2 and varz["slo"]["errors"] == 0
+
+            status, _ = self._get(admin, "/nope")
+            assert status == 404
+
+            client.stats()  # third request: server exits afterwards
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert result["rc"] == 0
+
+    def test_admin_readyz_gates_on_unverified_recovery(self, tmp_path, capsys):
+        """A durable restart without verification must come up
+        NOT-ready until recovery verification has passed; the default
+        recovery path verifies, so readiness is immediate here."""
+        from repro.service import ServiceClient
+
+        wal_dir = str(tmp_path / "wal")
+        base = [
+            "serve", "--size", "16", "--port", "0",
+            "--wal-dir", wal_dir, "--snapshot-every", "2",
+        ]
+        thread, result = self._serve_thread(base + ["--max-requests", "1"])
+        found = self._wait_for(capsys, ["listening on "])
+        host, port = found["listening on "].rsplit(":", 1)
+        with ServiceClient.connect_tcp(host, int(port)) as client:
+            client.update(inject=[(3, 3)])
+        thread.join(timeout=10)
+        assert result["rc"] == 0
+
+        thread, result = self._serve_thread(
+            base + ["--recover", "--admin-port", "0", "--max-requests", "1"]
+        )
+        found = self._wait_for(capsys, ["listening on ", "admin on "])
+        status, body = self._get(found["admin on "], "/readyz")
+        assert status == 200 and body == "ready\n"
+        host, port = found["listening on "].rsplit(":", 1)
+        with ServiceClient.connect_tcp(host, int(port)) as client:
+            client.ping()
+        thread.join(timeout=10)
+        assert result["rc"] == 0
+
+
+class TestObsCompareStitchCommands:
+    def test_compare_reports_regression(self, tmp_path, capsys):
+        import json
+
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps({"latency": {"p99": 100.0}}))
+        b.write_text(json.dumps({"latency": {"p99": 200.0}}))
+        assert main(["obs", "compare", str(a), str(b)]) == 0  # report-only
+        out = capsys.readouterr().out
+        assert "1 regressed" in out and "REGRESSED" in out
+
+    def test_compare_fail_on_regression(self, tmp_path, capsys):
+        import json
+
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps({"p99": 100.0}))
+        b.write_text(json.dumps({"p99": 200.0}))
+        assert (
+            main(["obs", "compare", str(a), str(b), "--fail-on-regression"])
+            == 1
+        )
+        # A custom threshold wide enough swallows the move.
+        assert (
+            main(
+                [
+                    "obs", "compare", str(a), str(b),
+                    "--fail-on-regression", "--threshold", "2.0",
+                ]
+            )
+            == 0
+        )
+
+    def test_compare_bad_artifact_exits_cleanly(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        a.write_text("{broken")
+        b = tmp_path / "b.json"
+        b.write_text("{}")
+        assert main(["obs", "compare", str(a), str(b)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("obs compare: ")
+        assert len(err.strip().splitlines()) == 1  # one line, no traceback
+
+    def test_stitch_merges_traces(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import SpanRecorder, load_chrome_trace
+
+        paths = []
+        for name in ("client", "server"):
+            rec = SpanRecorder(name)
+            with rec.span("work"):
+                pass
+            path = tmp_path / f"{name}.json"
+            rec.write(str(path))
+            paths.append(str(path))
+        out_path = tmp_path / "stitched.json"
+        assert main(["obs", "stitch", *paths, "-o", str(out_path)]) == 0
+        stitched = load_chrome_trace(str(out_path))
+        assert {e["pid"] for e in stitched["traceEvents"]} == {0, 1}
+        assert "2 traces" in capsys.readouterr().out
+
+    def test_stitch_invalid_input_exits_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        out_path = tmp_path / "out.json"
+        assert main(["obs", "stitch", str(bad), "-o", str(out_path)]) == 1
+        assert capsys.readouterr().err.startswith("obs stitch: ")
+
+
+class TestObsRobustInputs:
+    def test_summarize_json_export_with_slo(self, tmp_path, capsys):
+        import json
+
+        from repro.mesh import Mesh2D
+        from repro.obs import JSONLSink, Telemetry
+        from repro.service import LabelingService, handle_request
+
+        trace = tmp_path / "svc.jsonl"
+        telemetry = Telemetry(sinks=[JSONLSink(str(trace))])
+        service = LabelingService(Mesh2D(12, 12))
+        handle_request(service, {"op": "ping"}, telemetry=telemetry)
+        handle_request(service, {"op": "nope"}, telemetry=telemetry)
+        telemetry.close()
+        out_json = tmp_path / "summary.json"
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "obs", "summarize", str(trace), "--json", str(out_json),
+                    "--slo-availability", "0.9",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "slo:" in out
+        exported = json.loads(out_json.read_text())
+        assert exported["slo"]["count"] == 2
+        assert exported["slo"]["errors"] == 1
+        assert exported["slo"]["config"]["availability_target"] == 0.9
+        assert exported["service_latency"]["ping"]["count"] == 1.0
+
+    def test_summarize_truncated_jsonl_exits_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "truncated.jsonl"
+        bad.write_text(
+            '{"name": "heartbeat", "t": 0.0, "level": "info", '
+            '"fields": {"seq": 1, "clock": 1}}\n'
+            '{"name": "heartbeat", "t": 0.1, "le'
+        )
+        assert main(["obs", "summarize", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("obs summarize: ")
+        assert ":2:" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_summarize_binary_file_exits_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "binary.jsonl"
+        bad.write_bytes(b"\x00\xff\xfe\x01binary garbage")
+        assert main(["obs", "summarize", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("obs summarize: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_validate_binary_file_exits_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "binary.jsonl"
+        bad.write_bytes(b"\x80\x81\x82\x83")
+        assert main(["obs", "validate", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("obs validate: ")
+        assert "not UTF-8" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_summarize_bad_slo_flags_exit_cleanly(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text("")
+        assert (
+            main(
+                ["obs", "summarize", str(trace), "--slo-quantile", "1.5"]
+            )
+            == 1
+        )
+        assert capsys.readouterr().err.startswith("obs summarize: ")
