@@ -1,0 +1,500 @@
+"""Tile-sharded fixpoints — halo-exchange labeling over shared memory.
+
+The dense and frontier kernels solve the whole mesh as one array.  This
+module decomposes the grid into tiles (:mod:`repro.mesh.tiling`) and
+solves each tile **to its local fixpoint** on a framed
+``(w + 2) x (h + 2)`` copy — the tile interior plus a one-cell halo —
+using the existing kernels *unchanged*: a framed tile is just a small
+:class:`~repro.mesh.topology.Mesh2D`.  Tiles exchange halos only when a
+solve changes cells on a tile's rim; the outer loop converges when no
+rim changes anywhere.
+
+Why the result is bit-for-bit the global fixpoint
+-------------------------------------------------
+Both rules are monotone (labels only rise), so the global fixpoint is
+the unique least fixpoint above the initial state, and the argument has
+three steps:
+
+1. *Under-approximation invariant.*  Every value a tile solve reads is
+   a current plane value (<= the global fixpoint, inductively) or a
+   ghost constant, and the kernels are monotone, so every value written
+   is <= the global fixpoint.  This also covers the halo cells a
+   phase-1 local solve may flip internally: they are computed from
+   under-approximated inputs, and they are never written back.
+2. *Convergence.*  Writes only raise cells, so at most ``N`` raises
+   happen in total, and a round whose solves change nothing activates
+   nobody; the active set empties in finitely many rounds.
+3. *Exactness at termination.*  When the active set empties, every
+   cell's rule is satisfied under the global state: each interior cell
+   was last written as part of a local fixpoint, and its halo inputs
+   have not changed since (a change would have re-activated the tile).
+   The plane is therefore a fixpoint of the global operator that is
+   >= the initial state and <= the least fixpoint — i.e. *equal* to it.
+
+Phase specifics:
+
+* **Phase 1 (unsafe)** warm-starts each local solve by passing the
+  framed current-unsafe plane as the kernel's ``faulty`` argument — the
+  rule ``unsafe | newly | faulty`` keeps every already-unsafe cell, and
+  since the plane always contains the true faults, the local fixpoint
+  is the rule's closure of the current state.  Mesh-edge halo cells are
+  ghost-safe fills and can never flip (a rim ghost has at most one
+  non-ghost neighbour inside the frame, which neither Definition 2a nor
+  2b can fire on — the same induction as the paper's ghost ring).
+* **Phase 2 (enabled)** must *clamp* halo cells: the enable rule is not
+  monotone in the faults, so a disabled halo cell is marked faulty in a
+  local ``faulty`` plane (faulty cells never enable; interior cells
+  only read the halo's *enabled* values, which are exactly the current
+  plane values).  Enabled halo cells stay enabled by monotonicity.
+  Mesh-edge halos gather as ghost-enabled, reproducing the global
+  kernels' ``fill=True``.
+
+Round counts: the returned ``rounds`` is the number of **tile rounds**
+(halo-exchange generations), not Jacobi rounds — with one tile it is 1
+for any non-trivial instance.  Labels are bit-for-bit; round counts are
+a different (coarser) clock, which :func:`repro.core.pipeline.label_mesh`
+reports as-is for ``shard=`` runs.
+
+Execution: tiles write disjoint interiors, so parallel tile solves over
+``multiprocessing.shared_memory`` planes (:class:`SharedArena`) never
+race on writes; concurrent halo *reads* of a neighbour mid-write are
+benign — any mix of old/new byte values is still an under-approximation
+of the fixpoint, which step 1 above absorbs.  Workers receive only tile
+rectangles and :class:`~repro.analysis.executor.SharedBlock` tokens: no
+label plane is ever pickled.  A tile whose worker keeps dying (poison
+tile) is re-solved in the parent, so one bad worker cannot lose a tile.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # runtime import is lazy: analysis/ imports core/
+    from repro.analysis.executor import WarmPoolRegistry
+
+from repro.core.enabling import enabled_fixpoint
+from repro.core.frontier import enabled_fixpoint_sparse, unsafe_fixpoint_sparse
+from repro.core.safety import unsafe_fixpoint
+from repro.core.status import SafetyDefinition
+from repro.errors import ConvergenceError
+from repro.mesh.tiling import Tiling, gather_framed, parse_shard_spec
+from repro.mesh.topology import Mesh2D, Topology
+from repro.obs.telemetry import Telemetry
+from repro.types import BoolGrid
+
+__all__ = ["enabled_fixpoint_sharded", "unsafe_fixpoint_sharded"]
+
+_PHASE_UNSAFE = "unsafe"
+_PHASE_ENABLE = "enable"
+
+#: Same sparsity threshold as the pipeline's ``auto`` method resolution:
+#: a tile solve runs the frontier kernel when its active cells are at
+#: most 1/8 of the framed area.
+_AUTO_SPARSITY = 8
+
+#: Crash-injection hook for the executor hygiene tests: a worker whose
+#: tile rectangle starts at ``"x0,y0"`` dies with ``os._exit`` before
+#: touching shared memory.  Parent-side fallbacks ignore it.
+_CRASH_TILE_ENV = "REPRO_SHARD_CRASH_TILE"
+
+#: Upper bound on tiles per executor dispatch — tile solves are heavy,
+#: so chunks stay small to load-balance.
+_MAX_TILE_CHUNK = 16
+
+
+def _local_topology(framed_shape: Tuple[int, int]) -> Mesh2D:
+    """The framed tile as a little mesh — what lets the global kernels
+    run unchanged: the frame's outermost ring plays the ghost fill."""
+    return Mesh2D(framed_shape[0], framed_shape[1])
+
+
+def _tile_pass(
+    plane: BoolGrid,
+    faulty: Optional[BoolGrid],
+    rect: Tuple[int, int, int, int],
+    wraps: bool,
+    definition: SafetyDefinition,
+    phase: str,
+    method: str,
+) -> Tuple[int, Tuple[bool, bool, bool, bool], int]:
+    """Solve one tile to its local fixpoint against the current halos.
+
+    Gathers the framed view, runs the dense or frontier kernel on it,
+    and writes the changed interior back into ``plane``.  Returns
+    ``(cells_changed, rim_changed_by_side, local_rounds)`` with sides in
+    (E, W, N, S) order — the caller activates the neighbour across each
+    changed rim.
+    """
+    x0, y0, x1, y1 = rect
+    if phase == _PHASE_UNSAFE:
+        framed = gather_framed(plane, rect, wraps, fill=False)
+        seeds = int(np.count_nonzero(framed))
+        if seeds == 0:
+            return 0, (False, False, False, False), 0
+        topo = _local_topology(framed.shape)
+        kernel = method
+        if method == "auto":
+            kernel = (
+                "frontier"
+                if seeds * _AUTO_SPARSITY <= framed.size
+                else "dense"
+            )
+        if kernel == "frontier":
+            local, rounds = unsafe_fixpoint_sparse(topo, framed, definition)
+        else:
+            local, rounds = unsafe_fixpoint(topo, framed, definition)
+    else:
+        framed_enabled = gather_framed(plane, rect, wraps, fill=True)
+        framed_faulty = gather_framed(faulty, rect, wraps, fill=False)
+        # Clamp the halo: the enable rule must not move halo cells, so
+        # currently-disabled halo cells are locally faulty (they stay
+        # disabled); enabled ones cannot move anyway.
+        clamp = np.zeros(framed_enabled.shape, dtype=bool)
+        clamp[0, :] = clamp[-1, :] = clamp[:, 0] = clamp[:, -1] = True
+        local_faulty = framed_faulty | (clamp & ~framed_enabled)
+        movable = int(np.count_nonzero(~framed_enabled & ~local_faulty))
+        if movable == 0:
+            return 0, (False, False, False, False), 0
+        topo = _local_topology(framed_enabled.shape)
+        kernel = method
+        if method == "auto":
+            kernel = (
+                "frontier"
+                if movable * _AUTO_SPARSITY <= framed_enabled.size
+                else "dense"
+            )
+        if kernel == "frontier":
+            local, rounds = enabled_fixpoint_sparse(
+                topo, local_faulty, ~framed_enabled
+            )
+        else:
+            local, rounds = enabled_fixpoint(
+                topo, local_faulty, ~framed_enabled
+            )
+    interior = local[1:-1, 1:-1]
+    current = plane[x0:x1, y0:y1]
+    delta = interior != current
+    changed = int(np.count_nonzero(delta))
+    if changed == 0:
+        return 0, (False, False, False, False), rounds
+    plane[x0:x1, y0:y1] = interior
+    sides = (
+        bool(delta[-1, :].any()),  # east rim  -> tile (ix+1, iy)
+        bool(delta[0, :].any()),   # west rim  -> tile (ix-1, iy)
+        bool(delta[:, -1].any()),  # north rim -> tile (ix, iy+1)
+        bool(delta[:, 0].any()),   # south rim -> tile (ix, iy-1)
+    )
+    return changed, sides, rounds
+
+
+def _shard_cell(task):
+    """Worker-side tile solve on attached shared-memory planes."""
+    from repro.analysis.executor import attach_block
+
+    phase, def_value, wraps, method, plane_block, faulty_block, rect = task
+    crash = os.environ.get(_CRASH_TILE_ENV)
+    if crash is not None and crash == f"{rect[0]},{rect[1]}":
+        os._exit(1)
+    plane = attach_block(plane_block)
+    faulty = attach_block(faulty_block) if faulty_block is not None else None
+    return _tile_pass(
+        plane, faulty, rect, wraps, SafetyDefinition(def_value), phase, method
+    )
+
+
+def _initial_active(
+    phase: str,
+    tiling: Tiling,
+    plane: BoolGrid,
+    faulty: Optional[BoolGrid],
+    wraps: bool,
+) -> List[int]:
+    """Tiles that could change in round 1.
+
+    Phase 1: any unsafe cell in the tile's *framed* region (a fault in
+    the halo alone can flip interior cells).  Phase 2: any disabled
+    nonfaulty cell in the tile *interior* — the only cells the enable
+    rule can ever move; halo state cannot create firing sites.
+    """
+    active: List[int] = []
+    for tile in tiling.tiles():
+        if phase == _PHASE_UNSAFE:
+            hot = gather_framed(plane, tile.rect, wraps, fill=False).any()
+        else:
+            x0, y0, x1, y1 = tile.rect
+            hot = bool(
+                np.any(~plane[x0:x1, y0:y1] & ~faulty[x0:x1, y0:y1])
+            )
+        if hot:
+            active.append(tiling.index(tile.ix, tile.iy))
+    return active
+
+
+def _sharded_fixpoint(
+    phase: str,
+    topology: Topology,
+    faulty: Optional[BoolGrid],
+    plane: BoolGrid,
+    definition: SafetyDefinition,
+    tiling: Tiling,
+    jobs: int,
+    method: str,
+    max_rounds: Optional[int],
+    telemetry: Optional[Telemetry],
+    registry: Optional[WarmPoolRegistry],
+) -> Tuple[BoolGrid, int]:
+    """The halo-exchange driver shared by both phases.
+
+    ``plane`` is the phase's label plane, owned by this function (the
+    callers pass fresh copies).  Returns the converged plane and the
+    tile-round count.
+    """
+    from repro.analysis.executor import SharedArena, run_cells
+
+    wraps = topology.wraps
+    tel = telemetry
+    events_on = tel is not None and tel.wants("info")
+    exchanges_ctr = tel.counter("halo_exchanges") if tel is not None else None
+    tiles_ctr = tel.counter("tiles_active") if tel is not None else None
+    failures_ctr = tel.counter("shard_tile_failures") if tel is not None else None
+
+    # Worker pools nested inside a worker (a sharded label inside a
+    # parallel sweep cell) would oversubscribe and can deadlock the
+    # fork-based pool machinery; shard-level parallelism is the outer
+    # loop's job there, so nested calls run their tiles serially.
+    if multiprocessing.parent_process() is not None:
+        jobs = 1
+    jobs = max(1, int(jobs))
+
+    active = _initial_active(phase, tiling, plane, faulty, wraps)
+    if events_on:
+        tel.emit(
+            "shard_plan",
+            phase=phase,
+            tiles_x=tiling.tiles_x,
+            tiles_y=tiling.tiles_y,
+            tile_width=tiling.tile_width,
+            tile_height=tiling.tile_height,
+            jobs=jobs,
+            active=len(active),
+        )
+    if not active:
+        return plane, 0
+
+    budget = max_rounds if max_rounds is not None else (topology.num_nodes + 2)
+    def_value = definition.value
+    tiles = tiling.tiles()
+    rects = [t.rect for t in tiles]
+
+    use_pool = jobs > 1
+    arena: Optional[SharedArena] = None
+    try:
+        plane_block = faulty_block = None
+        if use_pool:
+            arena = SharedArena()
+            shared_plane, plane_block = arena.ndarray(plane.shape, np.bool_)
+            shared_plane[:] = plane
+            plane = shared_plane
+            if faulty is not None:
+                shared_faulty, faulty_block = arena.ndarray(
+                    faulty.shape, np.bool_
+                )
+                shared_faulty[:] = faulty
+                faulty = shared_faulty
+
+        rounds = 0
+        while active:
+            if rounds >= budget:
+                raise ConvergenceError(
+                    f"sharded {phase} labeling did not converge within "
+                    f"{budget} tile rounds"
+                )
+            rounds += 1
+            if tiles_ctr is not None:
+                tiles_ctr.inc(len(active))
+            span = (
+                tel.span("tile_round", phase=phase, round=rounds, tiles=len(active))
+                if tel is not None
+                else None
+            )
+            if span is not None:
+                span.__enter__()
+            try:
+                # Dispatch to the pool only when there is real fan-out;
+                # convergence tails with one hot tile solve in-parent.
+                if use_pool and len(active) > 1:
+                    tasks = [
+                        (
+                            phase,
+                            def_value,
+                            wraps,
+                            method,
+                            plane_block,
+                            faulty_block,
+                            rects[tidx],
+                        )
+                        for tidx in active
+                    ]
+                    chunk = max(1, min(_MAX_TILE_CHUNK, -(-len(tasks) // (4 * jobs))))
+                    rows, _ = run_cells(
+                        _shard_cell,
+                        tasks,
+                        jobs,
+                        broken_marker=lambda: None,
+                        chunk_size=chunk,
+                        registry=registry,
+                    )
+                    for i, row in enumerate(rows):
+                        if row is None:
+                            # Poison tile: its worker died repeatedly.
+                            # The parent maps the same shared planes, so
+                            # solving here is identical — no tile is lost.
+                            if failures_ctr is not None:
+                                failures_ctr.inc()
+                            rows[i] = _tile_pass(
+                                plane,
+                                faulty,
+                                rects[active[i]],
+                                wraps,
+                                definition,
+                                phase,
+                                method,
+                            )
+                else:
+                    rows = [
+                        _tile_pass(
+                            plane, faulty, rects[tidx], wraps, definition,
+                            phase, method,
+                        )
+                        for tidx in active
+                    ]
+            finally:
+                if span is not None:
+                    span.__exit__(None, None, None)
+
+            signals = 0
+            next_active = set()
+            for tidx, (changed, sides, _local_rounds) in zip(active, rows):
+                if not changed:
+                    continue
+                for side, rim_changed in enumerate(sides):
+                    if not rim_changed:
+                        continue
+                    neighbor = tiling.neighbor_index(tidx, side, wraps)
+                    if neighbor is not None:
+                        signals += 1
+                        next_active.add(neighbor)
+            if exchanges_ctr is not None and signals:
+                exchanges_ctr.inc(signals)
+            if events_on:
+                tel.emit(
+                    "shard_round",
+                    phase=phase,
+                    round=rounds,
+                    tiles=len(active),
+                    exchanges=signals,
+                )
+            active = sorted(next_active)
+
+        return (plane.copy() if use_pool else plane), rounds
+    finally:
+        if arena is not None:
+            arena.close()
+
+
+def unsafe_fixpoint_sharded(
+    topology: Topology,
+    faulty: BoolGrid,
+    definition: SafetyDefinition = SafetyDefinition.DEF_2B,
+    tiling: Optional[Tiling] = None,
+    jobs: int = 1,
+    method: str = "auto",
+    max_rounds: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
+    registry: Optional[WarmPoolRegistry] = None,
+) -> Tuple[BoolGrid, int]:
+    """Phase-1 fixpoint by tile sharding with halo exchange.
+
+    Bit-for-bit the same labels as
+    :func:`repro.core.safety.unsafe_fixpoint` (property tested); the
+    returned round count is the number of **tile rounds**, not Jacobi
+    rounds (see the module docstring).
+
+    Parameters
+    ----------
+    tiling:
+        The tile decomposition; ``None`` picks ``auto`` tiles for the
+        grid and ``jobs`` (see
+        :func:`repro.mesh.tiling.parse_shard_spec`).
+    jobs:
+        Worker processes for tile solves.  ``1`` solves tiles serially
+        in-process; ``> 1`` runs tiles through the warm-pool executor
+        over shared-memory planes.  Any value yields identical labels.
+    method:
+        Per-tile kernel: ``dense``, ``frontier``, or ``auto`` (per-tile
+        sparsity decision — clustered instances mix kernels per tile).
+    registry:
+        Warm-pool registry override (tests); defaults to the shared one.
+    """
+    if faulty.shape != topology.shape:
+        raise ConvergenceError(
+            f"fault mask shape {faulty.shape} != topology shape {topology.shape}"
+        )
+    if tiling is None:
+        tiling = parse_shard_spec("auto", topology.shape, jobs)
+    return _sharded_fixpoint(
+        _PHASE_UNSAFE,
+        topology,
+        None,
+        faulty.astype(bool).copy(),
+        definition,
+        tiling,
+        jobs,
+        method,
+        max_rounds,
+        telemetry,
+        registry,
+    )
+
+
+def enabled_fixpoint_sharded(
+    topology: Topology,
+    faulty: BoolGrid,
+    unsafe: BoolGrid,
+    tiling: Optional[Tiling] = None,
+    jobs: int = 1,
+    method: str = "auto",
+    max_rounds: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
+    registry: Optional[WarmPoolRegistry] = None,
+) -> Tuple[BoolGrid, int]:
+    """Phase-2 fixpoint by tile sharding with halo exchange.
+
+    Bit-for-bit the same labels as
+    :func:`repro.core.enabling.enabled_fixpoint`; parameters as in
+    :func:`unsafe_fixpoint_sharded`, with ``unsafe`` the phase-1 labels
+    (the initial enabled plane is their complement, per Definition 3).
+    """
+    if faulty.shape != topology.shape or unsafe.shape != topology.shape:
+        raise ConvergenceError("label plane shapes disagree with the topology")
+    if np.any(faulty & ~unsafe):
+        raise ConvergenceError("phase-1 labels invalid: a faulty node is safe")
+    if tiling is None:
+        tiling = parse_shard_spec("auto", topology.shape, jobs)
+    return _sharded_fixpoint(
+        _PHASE_ENABLE,
+        topology,
+        faulty.astype(bool),
+        ~unsafe.astype(bool),
+        SafetyDefinition.DEF_2B,  # unused by phase 2; kept for symmetry
+        tiling,
+        jobs,
+        method,
+        max_rounds,
+        telemetry,
+        registry,
+    )

@@ -112,6 +112,14 @@ class TraceSummary:
     #: :func:`repro.obs.slo.evaluate_outcomes` dict), present when the
     #: trace holds service events.
     slo: Optional[Dict[str, Any]] = None
+    #: Sharded-execution accounting per phase, rebuilt from
+    #: ``shard_plan`` / ``shard_round`` events of a ``shard=`` run:
+    #: ``tiles`` (the tiling's tile count), ``rounds`` (halo-exchange
+    #: generations), ``tile_solves`` (total per-tile fixpoint solves)
+    #: and ``halo_exchanges`` (rim-change signals to neighbouring
+    #: tiles).  Keys are phases (``unsafe``, ``enable``); empty when
+    #: the trace holds no sharding events.
+    sharding: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready view (``repro obs summarize --json``) whose
@@ -126,6 +134,9 @@ class TraceSummary:
             },
             "durability": {
                 name: dict(entry) for name, entry in self.durability.items()
+            },
+            "sharding": {
+                phase: dict(entry) for phase, entry in self.sharding.items()
             },
             "slo": dict(self.slo) if self.slo is not None else None,
             "runs": [
@@ -179,6 +190,7 @@ def summarize_trace(
     durable_latencies: Dict[str, List[float]] = {}
     durable_bytes: TallyCounter = TallyCounter()
     recoveries: List[Mapping[str, Any]] = []
+    sharding: Dict[str, Dict[str, float]] = {}
     retries = 0
     total = 0
     for lineno, record in _iter_jsonl(path):
@@ -194,6 +206,7 @@ def summarize_trace(
                 durable_latencies=durable_latencies,
                 durable_bytes=durable_bytes,
                 recoveries=recoveries,
+                sharding=sharding,
                 reports=reports,
             )
         except ObservabilityError as exc:
@@ -247,6 +260,7 @@ def summarize_trace(
         service_latency=service_latency,
         durability=durability,
         slo=slo,
+        sharding=sharding,
     )
 
 
@@ -261,6 +275,7 @@ def _absorb_record(
     durable_latencies: Dict[str, List[float]],
     durable_bytes: TallyCounter,
     recoveries: List[Mapping[str, Any]],
+    sharding: Dict[str, Dict[str, float]],
     reports: Dict[Tuple[Tuple[str, str], ...], RunReport],
 ) -> None:
     """Fold one validated record into the accumulators.
@@ -295,6 +310,23 @@ def _absorb_record(
         return
     if name == "recovery_replay":
         recoveries.append(fields)
+        return
+    if name in ("shard_plan", "shard_round"):
+        entry = sharding.setdefault(
+            str(fields["phase"]),
+            {
+                "tiles": 0.0,
+                "rounds": 0.0,
+                "tile_solves": 0.0,
+                "halo_exchanges": 0.0,
+            },
+        )
+        if name == "shard_plan":
+            entry["tiles"] = float(int(fields["tiles_x"]) * int(fields["tiles_y"]))
+        else:
+            entry["rounds"] += 1.0
+            entry["tile_solves"] += float(int(fields["tiles"]))
+            entry["halo_exchanges"] += float(int(fields["exchanges"]))
         return
     if name not in ("epoch_end", "run_end"):
         return
@@ -415,6 +447,17 @@ def format_summary(summary: TraceSummary) -> str:
             f"(objective {cfg['latency_objective_us']:g} us) "
             f"[{'ok' if s['latency_ok'] else 'VIOLATED'}]"
         )
+    if summary.sharding:
+        lines.append("")
+        lines.append("sharding:")
+        for phase in sorted(summary.sharding):
+            entry = summary.sharding[phase]
+            lines.append(
+                f"  {phase:>18}: {int(entry['tiles'])} tiles, "
+                f"{int(entry['rounds'])} tile rounds, "
+                f"{int(entry['tile_solves'])} tile solves, "
+                f"{int(entry['halo_exchanges'])} halo exchanges"
+            )
     if summary.durability:
         lines.append("")
         lines.append("durability:")

@@ -1,0 +1,135 @@
+"""Unit tests for the tile decomposition and halo gathering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.mesh.tiling import (
+    SIDES,
+    Tile,
+    Tiling,
+    gather_framed,
+    parse_shard_spec,
+)
+
+
+class TestTiling:
+    def test_tiles_partition_the_grid(self):
+        tiling = Tiling((11, 7), 4, 3)
+        cover = np.zeros((11, 7), dtype=int)
+        for t in tiling.tiles():
+            cover[t.x0 : t.x1, t.y0 : t.y1] += 1
+        assert (cover == 1).all()  # disjoint, exhaustive
+
+    def test_uneven_remainder_goes_to_last_tile(self):
+        tiling = Tiling((11, 7), 4, 3)
+        assert (tiling.tiles_x, tiling.tiles_y) == (3, 3)
+        last = tiling.tile(2, 2)
+        assert (last.width, last.height) == (3, 1)
+
+    def test_oversized_tiles_clamp_to_grid(self):
+        tiling = Tiling((5, 5), 99, 99)
+        assert tiling.num_tiles == 1
+        assert tiling.tile(0, 0).rect == (0, 0, 5, 5)
+
+    def test_index_matches_tiles_order(self):
+        tiling = Tiling((10, 10), 3, 4)
+        for flat, t in enumerate(tiling.tiles()):
+            assert tiling.index(t.ix, t.iy) == flat
+
+    def test_out_of_range_tile_rejected(self):
+        with pytest.raises(TopologyError):
+            Tiling((10, 10), 3, 3).tile(4, 0)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(TopologyError):
+            Tiling((0, 5), 2, 2)
+        with pytest.raises(TopologyError):
+            Tiling((5, 5), 0, 2)
+
+    def test_frame_matches_ghost_convention(self):
+        t = Tiling((10, 10), 4, 4).tile(2, 0)  # remainder tile, width 2
+        assert t.frame.framed_shape == (t.width + 2, t.height + 2)
+
+
+class TestNeighborIndex:
+    def test_mesh_edges_have_no_neighbor(self):
+        tiling = Tiling((9, 9), 3, 3)
+        # Corner tile (0, 0): west and south halos are the ghost ring.
+        tidx = tiling.index(0, 0)
+        by_side = {
+            side: tiling.neighbor_index(tidx, i, wraps=False)
+            for i, side in enumerate(SIDES)
+        }
+        assert by_side["west"] is None and by_side["south"] is None
+        assert by_side["east"] == tiling.index(1, 0)
+        assert by_side["north"] == tiling.index(0, 1)
+
+    def test_torus_wraps_modularly(self):
+        tiling = Tiling((9, 9), 3, 3)
+        tidx = tiling.index(0, 0)
+        assert tiling.neighbor_index(tidx, SIDES.index("west"), True) == (
+            tiling.index(2, 0)
+        )
+        assert tiling.neighbor_index(tidx, SIDES.index("south"), True) == (
+            tiling.index(0, 2)
+        )
+
+    def test_single_tile_dimension_self_wraps(self):
+        # One tile along x: on a torus it is its own east/west neighbour
+        # (wrap-around propagation via repeated self-exchange).
+        tiling = Tiling((9, 9), 9, 3)
+        tidx = tiling.index(0, 1)
+        assert tiling.neighbor_index(tidx, SIDES.index("east"), True) == tidx
+        assert tiling.neighbor_index(tidx, SIDES.index("west"), True) == tidx
+        assert tiling.neighbor_index(tidx, SIDES.index("east"), False) is None
+
+
+class TestGatherFramed:
+    def test_mesh_interior_tile_copies_neighbors(self):
+        rng = np.random.default_rng(0)
+        plane = rng.random((8, 8)) < 0.5
+        framed = gather_framed(plane, (2, 2, 5, 5), wraps=False, fill=False)
+        assert framed.shape == (5, 5)
+        assert np.array_equal(framed, plane[1:6, 1:6])
+
+    @pytest.mark.parametrize("fill", [False, True])
+    def test_mesh_edge_tile_gets_ghost_fill(self, fill):
+        plane = np.ones((4, 4), dtype=bool)
+        framed = gather_framed(plane, (0, 0, 2, 2), wraps=False, fill=fill)
+        assert framed[1:-1, 1:-1].all()
+        assert framed[0, :].tolist() == [fill] * 4
+        assert framed[:, 0].tolist() == [fill] * 4
+
+    def test_torus_halo_wraps(self):
+        plane = np.zeros((5, 5), dtype=bool)
+        plane[4, 2] = True  # east neighbour of x=0 across the wrap
+        framed = gather_framed(plane, (0, 0, 2, 5), wraps=True, fill=False)
+        # framed x=0 is global x=4.
+        assert framed[0, 3]  # y halo offset: global y=2 -> framed y=3
+        assert not framed[1:, :].any()
+
+    def test_gather_is_a_copy_on_mesh(self):
+        plane = np.zeros((4, 4), dtype=bool)
+        framed = gather_framed(plane, (0, 0, 4, 4), wraps=False, fill=False)
+        framed[1, 1] = True
+        assert not plane[0, 0]
+
+
+class TestParseShardSpec:
+    def test_explicit_spec(self):
+        tiling = parse_shard_spec("16x8", (100, 100))
+        assert (tiling.tile_width, tiling.tile_height) == (16, 8)
+
+    def test_auto_gives_enough_tiles_for_the_pool(self):
+        tiling = parse_shard_spec("auto", (2000, 2000), jobs=4)
+        assert tiling.num_tiles >= 16
+        assert tiling.tile_width >= 64  # never below the floor
+
+    def test_auto_on_a_small_grid_is_one_tile(self):
+        assert parse_shard_spec("auto", (50, 50), jobs=1).num_tiles == 1
+
+    @pytest.mark.parametrize("bad", ["", "16", "ax4", "4xax4", "0x4", "-1x4"])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_shard_spec(bad, (100, 100))

@@ -1,0 +1,170 @@
+"""Property: the tile-sharded halo-exchange fixpoints ARE the global
+kernels — bit-identical labels on both topologies, both safety
+definitions, every fault regime (empty, singleton, sparse random,
+clustered), and every tiling shape (square, uneven, degenerate 1xN,
+tiles larger than the grid)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    SafetyDefinition,
+    enabled_fixpoint,
+    enabled_fixpoint_sharded,
+    label_mesh,
+    unsafe_fixpoint,
+    unsafe_fixpoint_sharded,
+)
+from repro.faults import FaultSet
+from repro.faults.generators import clustered, uniform_random
+from repro.mesh import Mesh2D, Torus2D
+from repro.mesh.tiling import Tiling
+
+W = H = 11
+
+definitions = st.sampled_from(list(SafetyDefinition))
+topologies = st.sampled_from([Mesh2D(W, H), Torus2D(W, H)])
+#: Tile sides beyond the grid dimension exercise the clamp-to-grid path;
+#: side 1 exercises tiles that are pure rim.
+tile_sides = st.integers(1, W + 2)
+
+
+@st.composite
+def fault_sets(draw, max_faults=14):
+    n = draw(st.integers(0, max_faults))
+    coords = draw(
+        st.lists(
+            st.tuples(st.integers(0, W - 1), st.integers(0, H - 1)),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        )
+    )
+    return FaultSet.from_coords((W, H), coords)
+
+
+def assert_sharded_agrees(topology, faulty, definition, tiling):
+    unsafe_g, _ = unsafe_fixpoint(topology, faulty, definition)
+    unsafe_s, _ = unsafe_fixpoint_sharded(
+        topology, faulty, definition, tiling=tiling
+    )
+    assert np.array_equal(unsafe_g, unsafe_s)
+    enabled_g, _ = enabled_fixpoint(topology, faulty, unsafe_g)
+    enabled_s, _ = enabled_fixpoint_sharded(
+        topology, faulty, unsafe_g, tiling=tiling
+    )
+    assert np.array_equal(enabled_g, enabled_s)
+
+
+class TestShardedEquivalence:
+    @given(fault_sets(), topologies, definitions, tile_sides, tile_sides)
+    @settings(max_examples=60, deadline=None)
+    def test_random_fault_sets(self, faults, topology, definition, tw, th):
+        tiling = Tiling(topology.shape, tw, th)
+        assert_sharded_agrees(topology, faults.mask, definition, tiling)
+
+    @pytest.mark.parametrize("topo_cls", [Mesh2D, Torus2D])
+    @pytest.mark.parametrize("definition", list(SafetyDefinition))
+    @pytest.mark.parametrize("f", [0, 1])
+    def test_empty_and_singleton(self, topo_cls, definition, f):
+        topo = topo_cls(W, H)
+        faults = uniform_random(topo.shape, f, np.random.default_rng(3))
+        assert_sharded_agrees(
+            topo, faults.mask, definition, Tiling(topo.shape, 4, 4)
+        )
+
+    @pytest.mark.parametrize("topo_cls", [Mesh2D, Torus2D])
+    @pytest.mark.parametrize("definition", list(SafetyDefinition))
+    @pytest.mark.parametrize("seed", range(4))
+    def test_clustered_faults(self, topo_cls, definition, seed):
+        # Clustered faults build blocks spanning several tiles, which is
+        # where multi-round halo-exchange convergence actually happens.
+        topo = topo_cls(40, 40)
+        faults = clustered(
+            topo.shape, 60, np.random.default_rng(seed), clusters=3, spread=2.0
+        )
+        assert_sharded_agrees(
+            topo, faults.mask, definition, Tiling(topo.shape, 13, 9)
+        )
+
+    @pytest.mark.parametrize(
+        "topo", [Mesh2D(7, 13), Torus2D(13, 7), Mesh2D(1, 9), Torus2D(9, 1)]
+    )
+    @pytest.mark.parametrize("tile", [(1, 1), (3, 5), (1, 9), (20, 20)])
+    def test_non_square_and_degenerate_tilings(self, topo, tile):
+        # Uneven remainder tiles, 1xN strips, tiles wider than the grid,
+        # and the torus self-wrap case (one tile along a dimension).
+        faults = uniform_random(
+            topo.shape, min(5, topo.num_nodes), np.random.default_rng(1)
+        )
+        for definition in SafetyDefinition:
+            assert_sharded_agrees(
+                topo, faults.mask, definition, Tiling(topo.shape, *tile)
+            )
+
+
+class TestShardedPipeline:
+    @given(fault_sets(), topologies, definitions)
+    @settings(max_examples=25, deadline=None)
+    def test_shard_choice_is_invisible(self, faults, topology, definition):
+        try:
+            plain = label_mesh(topology, faults, definition, method="dense")
+        except ValueError:
+            return  # un-unwrappable torus labelings are rejected either way
+        sharded = label_mesh(
+            topology, faults, definition, method="auto", shard="4x4"
+        )
+        assert np.array_equal(plain.labels.unsafe, sharded.labels.unsafe)
+        assert np.array_equal(plain.labels.enabled, sharded.labels.enabled)
+        assert sharded.method.startswith("sharded[")
+        # Geometry is stitched from the same full plane, so blocks and
+        # regions agree too.
+        assert [b.rect for b in plain.blocks] == [b.rect for b in sharded.blocks]
+        assert len(plain.regions) == len(sharded.regions)
+
+    def test_shard_requires_vectorized_backend(self):
+        faults = FaultSet.from_coords((W, H), [(2, 2)])
+        with pytest.raises(ValueError, match="shard"):
+            label_mesh(
+                Mesh2D(W, H), faults, backend="reference", shard="4x4"
+            )
+
+
+class TestShardedParallel:
+    def test_jobs2_bit_for_bit(self, tmp_path):
+        # The shared-memory pool path must agree with serial sharding
+        # and with the global kernels.
+        from repro.analysis.executor import WarmPoolRegistry
+
+        topo = Mesh2D(40, 33)
+        faults = clustered(
+            topo.shape, 80, np.random.default_rng(7), clusters=4, spread=2.0
+        )
+        tiling = Tiling(topo.shape, 13, 11)
+        registry = WarmPoolRegistry()
+        try:
+            for definition in SafetyDefinition:
+                unsafe_g, _ = unsafe_fixpoint(topo, faults.mask, definition)
+                unsafe_p, _ = unsafe_fixpoint_sharded(
+                    topo,
+                    faults.mask,
+                    definition,
+                    tiling=tiling,
+                    jobs=2,
+                    registry=registry,
+                )
+                assert np.array_equal(unsafe_g, unsafe_p)
+                enabled_g, _ = enabled_fixpoint(topo, faults.mask, unsafe_g)
+                enabled_p, _ = enabled_fixpoint_sharded(
+                    topo,
+                    faults.mask,
+                    unsafe_g,
+                    tiling=tiling,
+                    jobs=2,
+                    registry=registry,
+                )
+                assert np.array_equal(enabled_g, enabled_p)
+        finally:
+            registry.shutdown()
