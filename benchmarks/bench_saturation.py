@@ -1,0 +1,156 @@
+"""Saturation campaign: where each fault-model view's network caps out.
+
+Sweeps injection rate over the same clustered-fault machine under the
+rectangle faulty-block view and the paper's Def 2a / Def 2b region
+views, with byte-identical traffic per rate point (shared endpoint
+view, shared seeds).  The sweep locates each view's **saturation
+point** — the highest offered load still delivered at ≥ 95% within the
+horizon — and the accepted throughput there.  This is the figure the
+refined fault model is *for*: a view that imprisons fewer nonfaulty
+nodes keeps accepting load after the rectangle view has stopped
+tracking it.
+
+The pytest run uses a CI-sized machine; the full-campaign numbers
+(256x256, one million packets per view) are produced by the routing
+leg of ``benchmarks/perf_baseline.py`` (full mode) and recorded in
+``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import SafetyDefinition, label_mesh
+from repro.faults import clustered
+from repro.mesh import Mesh2D
+from repro.network import injection_sweep
+from repro.routing import FaultModelView
+
+MESH = Mesh2D(48, 48)
+FAULTS = 70
+PACKETS = 30_000
+RATES = (2.0, 8.0, 32.0, 128.0)
+MAX_CYCLES = 200_000
+#: Horizon per point: 1.5x its injection span (plus hop-budget slack).
+#: A view keeping up with the offered load finishes well inside that;
+#: a saturated one leaves a stuck backlog.  The margins are ~25% in
+#: deterministic cycle counts, so the knee detection is noise-free.
+DRAIN_FACTOR = 1.5
+
+
+@pytest.fixture(scope="module")
+def curves():
+    rng = np.random.default_rng(21)
+    faults = clustered(MESH.shape, FAULTS, rng, clusters=3, spread=1.8)
+    result_2a = label_mesh(MESH, faults, SafetyDefinition.DEF_2A)
+    result_2b = label_mesh(MESH, faults, SafetyDefinition.DEF_2B)
+    views = {
+        "rect-fb": FaultModelView.from_blocks(result_2b),
+        "regions-2a": FaultModelView.from_regions(result_2a),
+        "regions-2b": FaultModelView.from_regions(result_2b),
+    }
+    inter = np.ones(MESH.shape, dtype=bool)
+    for view in views.values():
+        inter &= view.enabled
+    shared = FaultModelView(MESH, inter)
+    return {
+        name: injection_sweep(
+            view,
+            RATES,
+            PACKETS,
+            seed=5,
+            kernel="detour",
+            endpoint_view=shared,
+            view_label=name,
+            max_cycles=MAX_CYCLES,
+            drain_factor=DRAIN_FACTOR,
+        )
+        for name, view in views.items()
+    }
+
+
+def test_saturation_table(curves, emit):
+    rows = []
+    for name, curve in curves.items():
+        for p in curve.points:
+            rows.append(
+                [
+                    name,
+                    p.rate,
+                    p.delivery_rate,
+                    p.throughput,
+                    p.mean_latency,
+                    p.p99_latency,
+                    "sat" if p.saturated else "",
+                ]
+            )
+        rows.append(
+            [
+                name,
+                "knee",
+                "",
+                curve.saturation_throughput,
+                "",
+                "",
+                curve.saturation_rate,
+            ]
+        )
+    emit(
+        "saturation",
+        format_table(
+            ["view", "rate", "delivery", "thr", "mean_lat", "p99_lat", "note"],
+            rows,
+            title=(
+                f"Injection-rate sweep ({MESH.width}x{MESH.height}, "
+                f"{FAULTS} clustered faults, {PACKETS} packets/point)"
+            ),
+        ),
+    )
+
+
+def test_low_rate_is_unsaturated(curves):
+    for name, curve in curves.items():
+        assert not curve.points[0].saturated, name
+        assert curve.saturation_rate is not None, name
+
+
+def test_throughput_grows_from_first_point(curves):
+    for name, curve in curves.items():
+        assert curve.peak_throughput >= curve.points[0].throughput, name
+
+
+def test_region_views_sustain_block_view_load(curves):
+    # At every rate point the block view handles, the region views
+    # accept at least (nearly) the same throughput on identical traffic.
+    blocks = curves["rect-fb"]
+    for other in ("regions-2a", "regions-2b"):
+        regions = curves[other]
+        for pb, pr in zip(blocks.points, regions.points):
+            assert pr.throughput >= 0.9 * pb.throughput, (other, pb.rate)
+        assert (
+            regions.saturation_throughput >= 0.9 * blocks.saturation_throughput
+        ), other
+
+
+def test_region_views_saturate_no_earlier(curves):
+    # The headline: a view that imprisons fewer nonfaulty nodes keeps
+    # draining offered load after the rectangle view has backlogged.
+    blocks = curves["rect-fb"]
+    assert blocks.saturation_rate is not None
+    for other in ("regions-2a", "regions-2b"):
+        regions = curves[other]
+        assert regions.saturation_rate >= blocks.saturation_rate, other
+        assert (
+            regions.saturation_throughput >= blocks.saturation_throughput
+        ), other
+
+
+def test_latency_diverges_at_saturation(curves):
+    # The classic saturation signature: delivered latency at the top
+    # rate dwarfs the low-rate latency.
+    for name, curve in curves.items():
+        first, last = curve.points[0], curve.points[-1]
+        if last.saturated:
+            assert last.mean_latency > first.mean_latency, name

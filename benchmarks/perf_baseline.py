@@ -28,6 +28,14 @@ Times the hot paths this repository optimises —
   runnable alone via ``--gate-sharded``), strong/weak scaling curves
   across worker counts, and a 10000x10000 (100M-cell) completion run
   over shared-memory planes (full mode),
+* the batched traffic engine: the scalar per-packet reference engine
+  vs the numpy column engine on identical traffic (the ``routing`` CI
+  gate, also runnable alone via ``--gate-routing``; results must be
+  bit-for-bit equal), the routing payoff of the region views over the
+  rectangle faulty-block view under contending traffic, the scalar
+  wormhole oracle at the 1e5-packet scale, and (full mode) the
+  million-packet 256x256 saturation campaign comparing the rectangle
+  view against Def 2a / Def 2b regions,
 
 verifies that every fast path reproduces the reference results exactly,
 and writes ``BENCH_perf.json`` at the repository root so successive PRs
@@ -68,7 +76,16 @@ from repro.core.theorems import check_all
 from repro.faults.generators import clustered, uniform_random
 from repro.mesh.tiling import parse_shard_spec
 from repro.mesh.topology import Mesh2D
+from repro.network import (
+    BatchedNetwork,
+    WormholeNetwork,
+    injection_sweep,
+    synthetic_traffic,
+    uniform_traffic,
+    xy_hops,
+)
 from repro.obs.telemetry import Telemetry
+from repro.routing import FaultModelView
 
 
 def _best_of(fn, repeats: int = 3):
@@ -736,6 +753,238 @@ def bench_sharded(
     return report
 
 
+def _routing_gate_workload(size: int, faults: int, packets: int, rate: float):
+    """The routing-gate pair's fixed workload.
+
+    Clustered faults (seed 7) on a ``size`` mesh, blocks view, and a
+    uniform batched workload (seed 3).  The gate uses the XY kernel:
+    both engines share its decide step, so the pair isolates the
+    engine cost — scalar per-packet Python loop vs fused numpy passes.
+    """
+    topo = Mesh2D(size, size)
+    fset = clustered(
+        topo.shape, faults, np.random.default_rng(7), clusters=5, spread=1.6
+    )
+    view = FaultModelView.from_blocks(label_mesh(topo, fset))
+    traffic = synthetic_traffic(
+        view, packets, np.random.default_rng(3), injection_rate=rate
+    )
+    return view, traffic
+
+
+def _routing_gate_pair(size: int, faults: int, packets: int, rate: float, repeats: int):
+    """Time reference vs batched on the gate workload; verify equality.
+
+    The reference engine runs once (it is the slow leg by an order of
+    magnitude); the batched engine takes best-of-``repeats`` because at
+    sub-second runtimes machine noise is the dominant error term.
+    """
+    view, traffic = _routing_gate_workload(size, faults, packets, rate)
+    t0 = time.perf_counter()
+    slow = BatchedNetwork(view, kernel="xy", engine="reference").run(traffic)
+    t_ref = time.perf_counter() - t0
+    t_batched, fast = _best_of(
+        lambda: BatchedNetwork(view, kernel="xy").run(traffic), repeats
+    )
+    equal = fast.equals(slow)
+    return t_ref, t_batched, fast, equal
+
+
+def bench_routing(
+    gate_size: int,
+    gate_packets: int,
+    payoff_packets: int,
+    worm_packets: int,
+    campaign,
+    repeats: int,
+) -> dict:
+    """Batched traffic engine: gate pair, payoff deltas, oracle, campaign."""
+    gate_faults, gate_rate = 100, 5000.0
+
+    # -- gate: scalar reference engine vs batched numpy engine --------
+    t_ref, t_batched, fast, equal = _routing_gate_pair(
+        gate_size, gate_faults, gate_packets, gate_rate, repeats
+    )
+    assert equal, "batched engine diverged from the scalar reference"
+    gate = _pair(
+        "routing scalar vs batched",
+        t_ref,
+        t_batched,
+        extra={
+            "mesh": f"{gate_size}x{gate_size}",
+            "faults": gate_faults,
+            "packets": gate_packets,
+            "kernel": "xy",
+            "rate": gate_rate,
+            "delivery_rate": round(fast.delivery_rate, 6),
+            "packets_per_sec": round(gate_packets / t_batched),
+            "equal": True,
+        },
+    )
+
+    # -- payoff: region views vs the rectangle block view -------------
+    # Identical contending traffic (drawn from the intersection of the
+    # enabled sets) through the rectangle-detour kernel under all three
+    # views; the region views' extra enabled nodes turn directly into
+    # accepted throughput and delivered latency.
+    topo = Mesh2D(64, 64)
+    fset = clustered(
+        topo.shape, 100, np.random.default_rng(13), clusters=4, spread=2.0
+    )
+    result_2a = label_mesh(topo, fset, SafetyDefinition.DEF_2A)
+    result_2b = label_mesh(topo, fset, SafetyDefinition.DEF_2B)
+    views = {
+        "rect-fb": FaultModelView.from_blocks(result_2b),
+        "regions-2a": FaultModelView.from_regions(result_2a),
+        "regions-2b": FaultModelView.from_regions(result_2b),
+    }
+    inter = np.ones(topo.shape, dtype=bool)
+    for v in views.values():
+        inter &= v.enabled
+    traffic = synthetic_traffic(
+        FaultModelView(topo, inter),
+        payoff_packets,
+        np.random.default_rng(3),
+        injection_rate=50.0,
+    )
+    payoff = {"mesh": "64x64", "faults": 100, "packets": payoff_packets, "views": {}}
+    for name, v in views.items():
+        res = BatchedNetwork(v, kernel="detour").run(traffic)
+        payoff["views"][name] = {
+            "enabled": v.num_enabled,
+            "delivery_rate": round(res.delivery_rate, 4),
+            "throughput": round(res.throughput, 3),
+            "mean_latency": round(res.mean_latency, 2),
+            "p95_latency": res.p95_latency,
+            "cycles": res.cycles,
+        }
+        print(
+            f"{'payoff ' + name:>28}: thr {res.throughput:7.2f} "
+            f"lat {res.mean_latency:6.1f} delivery {res.delivery_rate:.3f}"
+        )
+
+    # -- scalar wormhole oracle at the 1e5-packet scale ----------------
+    # The flit-level simulator stays the bit-level oracle; after the
+    # cursor/deque/insort fixes it must take this packet count in
+    # linear time.
+    worm_mesh = Mesh2D(32, 32)
+    worm_view = FaultModelView(worm_mesh, np.ones(worm_mesh.shape, dtype=bool))
+    worms = uniform_traffic(
+        worm_view, worm_packets, np.random.default_rng(15),
+        packet_length=2, injection_rate=4.0,
+    )
+    t0 = time.perf_counter()
+    worm_res = WormholeNetwork(worm_mesh, xy_hops(), num_vcs=2).run(worms)
+    t_worm = time.perf_counter() - t0
+    assert worm_res.delivery_rate > 0.999, "wormhole oracle lost packets"
+    wormhole = {
+        "mesh": "32x32",
+        "packets": worm_packets,
+        "seconds": round(t_worm, 6),
+        "packets_per_sec": round(worm_packets / t_worm),
+        "delivery_rate": round(worm_res.delivery_rate, 6),
+    }
+    print(
+        f"{'wormhole oracle 1e5-scale':>28}: {worm_packets} worms in "
+        f"{t_worm:.2f} s ({wormhole['packets_per_sec']:,} pkts/s)"
+    )
+
+    report = {
+        "gate": gate,
+        "payoff": payoff,
+        "wormhole": wormhole,
+    }
+
+    # -- full mode: the million-packet 256x256 saturation campaign -----
+    if campaign:
+        camp_size, camp_packets = campaign
+        topo = Mesh2D(camp_size, camp_size)
+        fset = clustered(
+            topo.shape, 800, np.random.default_rng(7), clusters=12, spread=2.5
+        )
+        result_2a = label_mesh(topo, fset, SafetyDefinition.DEF_2A)
+        result_2b = label_mesh(topo, fset, SafetyDefinition.DEF_2B)
+        views = {
+            "rect-fb": FaultModelView.from_blocks(result_2b),
+            "regions-2a": FaultModelView.from_regions(result_2a),
+            "regions-2b": FaultModelView.from_regions(result_2b),
+        }
+        inter = np.ones(topo.shape, dtype=bool)
+        for v in views.values():
+            inter &= v.enabled
+        shared = FaultModelView(topo, inter)
+        rates = [200.0, 800.0, 3200.0]
+        campaign_report = {
+            "mesh": f"{camp_size}x{camp_size}",
+            "faults": 800,
+            "packets_per_point": camp_packets,
+            "rates": rates,
+            "views": {},
+        }
+        for name, v in views.items():
+            t0 = time.perf_counter()
+            curve = injection_sweep(
+                v,
+                rates,
+                camp_packets,
+                seed=5,
+                kernel="detour",
+                endpoint_view=shared,
+                view_label=name,
+                drain_factor=1.5,
+            )
+            t_curve = time.perf_counter() - t0
+            campaign_report["views"][name] = {
+                "enabled": v.num_enabled,
+                "seconds": round(t_curve, 2),
+                "saturation_rate": curve.saturation_rate,
+                "saturation_throughput": round(curve.saturation_throughput, 2),
+                "points": [
+                    {
+                        "rate": p.rate,
+                        "delivery_rate": round(p.delivery_rate, 4),
+                        "throughput": round(p.throughput, 2),
+                        "mean_latency": round(p.mean_latency, 2),
+                        "p99_latency": p.p99_latency,
+                        "stuck": p.stuck,
+                    }
+                    for p in curve.points
+                ],
+            }
+            print(
+                f"{'campaign ' + name:>28}: knee {curve.saturation_rate} "
+                f"thr {curve.saturation_throughput:8.2f} ({t_curve:.1f} s)"
+            )
+        report["campaign"] = campaign_report
+    return report
+
+
+#: The CI gate: the batched engine must beat the scalar reference by at
+#: least this factor on the gate workload (bit-for-bit equal results).
+_ROUTING_GATE_MIN_SPEEDUP = 20.0
+
+
+def gate_routing(
+    size: int = 160, packets: int = 150_000, faults: int = 100, rate: float = 5000.0
+) -> int:
+    """The ``--gate-routing`` CI mode: quick pass/fail, no JSON."""
+    t_ref, t_batched, _, equal = _routing_gate_pair(size, faults, packets, rate, 3)
+    if not equal:
+        print("gate-routing: FAIL (batched diverged from the scalar reference)")
+        return 1
+    speedup = t_ref / t_batched
+    print(
+        f"gate-routing: {size}x{size} ({faults} faults, {packets} packets) "
+        f"scalar {t_ref:.2f} s vs batched {t_batched:.2f} s -> "
+        f"{speedup:.1f}x (need >= {_ROUTING_GATE_MIN_SPEEDUP}x)"
+    )
+    if speedup < _ROUTING_GATE_MIN_SPEEDUP:
+        print("gate-routing: FAIL (speedup below gate)")
+        return 1
+    print("gate-routing: OK")
+    return 0
+
+
 #: The CI gate: sharded ``jobs=2`` must beat the dense single-array
 #: fixpoints by at least this factor on the gate workload.
 _SHARDED_GATE_MIN_SPEEDUP = 1.2
@@ -800,10 +1049,17 @@ def main(argv=None) -> int:
         action="store_true",
         help="CI mode: run only the sharded speedup/completion gate",
     )
+    parser.add_argument(
+        "--gate-routing",
+        action="store_true",
+        help="CI mode: run only the batched-vs-scalar routing gate",
+    )
     args = parser.parse_args(argv)
 
     if args.gate_sharded:
         return gate_sharded()
+    if args.gate_routing:
+        return gate_routing()
 
     if args.quick:
         kernel_size, kernel_f, repeats = 300, 80, 2
@@ -812,6 +1068,8 @@ def main(argv=None) -> int:
         incr_size, incr_f, incr_updates = 256, 40, 2000
         shard_gate, shard_strong, shard_weak = 600, 800, 320
         shard_jobs, shard_big = [1, 2], None
+        route_size, route_packets = 160, 150_000
+        route_payoff, route_worms, route_campaign = 60_000, 20_000, None
     else:
         kernel_size, kernel_f, repeats = 500, 100, 3
         fabric_size, fabric_f = 32, 48
@@ -824,6 +1082,9 @@ def main(argv=None) -> int:
         incr_size, incr_f, incr_updates = 1000, 100, 20000
         shard_gate, shard_strong, shard_weak = 2000, 4000, 1000
         shard_jobs, shard_big = [1, 2, 4, 8], 10000
+        route_size, route_packets = 160, 150_000
+        route_payoff, route_worms = 100_000, 100_000
+        route_campaign = (256, 1_000_000)
 
     report = {
         "schema": 1,
@@ -842,6 +1103,10 @@ def main(argv=None) -> int:
         "incremental": bench_incremental(incr_size, incr_f, incr_updates, repeats),
         "sharded": bench_sharded(
             shard_gate, shard_strong, shard_weak, shard_jobs, shard_big, repeats
+        ),
+        "routing": bench_routing(
+            route_size, route_packets, route_payoff, route_worms,
+            route_campaign, repeats,
         ),
     }
 

@@ -1,14 +1,17 @@
-"""Wormhole-switched network substrate.
+"""Network substrate: wormhole flit simulator + batched packet engine.
 
-A cycle-level flit simulator of the switching layer beneath the paper's
-fault model: worms, virtual channels, per-hop routing functions, a
-deadlock watchdog, and synthetic traffic over the enabled nodes of a
-fault-model view.  The network benchmarks use it to demonstrate the
-claims the paper inherits from the wormhole literature — dimension-order
-routing is deadlock-free, cyclic routing on one virtual channel is not,
-and a dateline VC discipline repairs it with just two.
+Two simulators share this package:
+
+* the cycle-level **wormhole** flit simulator (worms, virtual channels,
+  deadlock watchdog) used for the deadlock-freedom demonstrations, and
+* the **batched store-and-forward engine**
+  (:class:`~repro.network.batched.BatchedNetwork`) that advances every
+  in-flight packet in parallel numpy arrays, fast enough for
+  million-packet saturation campaigns over the paper's fault-model
+  views, with injection-rate sweeps in :mod:`repro.network.sweeps`.
 """
 
+from repro.network.batched import BatchedNetwork, BatchedResult, nearest_rank
 from repro.network.flits import Flit, FlitKind, WormPacket
 from repro.network.hops import (
     HopFunction,
@@ -22,20 +25,36 @@ from repro.network.simulator import (
     WormholeNetwork,
     dateline_vc_policy,
 )
-from repro.network.traffic import source_routed_traffic, uniform_traffic
+from repro.network.sweeps import SweepCurve, SweepPoint, injection_sweep
+from repro.network.traffic import (
+    BatchedTraffic,
+    TRAFFIC_PATTERNS,
+    source_routed_traffic,
+    synthetic_traffic,
+    uniform_traffic,
+)
 
 __all__ = [
+    "BatchedNetwork",
+    "BatchedResult",
+    "BatchedTraffic",
     "Flit",
     "FlitKind",
     "HopFunction",
     "NetworkResult",
+    "SweepCurve",
+    "SweepPoint",
+    "TRAFFIC_PATTERNS",
     "VCSelector",
     "WormPacket",
     "WormholeNetwork",
     "block_detour_hops",
     "clockwise_ring_hops",
     "dateline_vc_policy",
+    "injection_sweep",
+    "nearest_rank",
     "source_routed_traffic",
+    "synthetic_traffic",
     "uniform_traffic",
     "xy_hops",
 ]

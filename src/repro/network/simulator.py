@@ -24,12 +24,16 @@ is about.
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import RoutingError
 from repro.mesh.topology import Topology
+from repro.network.batched import nearest_rank
 from repro.network.flits import Flit, WormPacket
 from repro.network.hops import HopFunction
 from repro.types import Coord
@@ -78,7 +82,7 @@ class _Worm:
     packet: WormPacket
     flits: List[Flit]
     injected: int = 0                      # flits pushed into the network
-    channels: List[_ChannelId] = field(default_factory=list)  # acquired, in order
+    channels: Deque[_ChannelId] = field(default_factory=deque)  # acquired, in order
     links_acquired: int = 0                # total links ever reserved
     head_blocked: bool = False
     dropped: bool = False
@@ -86,7 +90,15 @@ class _Worm:
 
 @dataclass(frozen=True)
 class NetworkResult:
-    """Outcome of one simulation run."""
+    """Outcome of one simulation run.
+
+    Empty-run semantics are explicit and vacuous: with no offered
+    packets :attr:`delivery_rate` is ``1.0`` (nothing was lost) while
+    every latency statistic is ``nan`` (there is no latency to report).
+    The same convention holds for
+    :class:`~repro.network.batched.BatchedResult`, so sweep code can
+    treat both result types uniformly.
+    """
 
     delivered: Tuple[WormPacket, ...]
     dropped: Tuple[WormPacket, ...]
@@ -96,13 +108,36 @@ class NetworkResult:
 
     @property
     def delivery_rate(self) -> float:
+        """Delivered fraction of all offered packets; empty runs are 1.0."""
         total = len(self.delivered) + len(self.dropped) + len(self.stuck)
         return len(self.delivered) / total if total else 1.0
 
     @property
+    def latencies(self) -> np.ndarray:
+        """Delivered-packet latency vector (cycles), possibly empty."""
+        return np.array(
+            [p.latency for p in self.delivered if p.latency is not None],
+            dtype=np.int64,
+        )
+
+    @property
     def mean_latency(self) -> float:
-        lats = [p.latency for p in self.delivered if p.latency is not None]
-        return sum(lats) / len(lats) if lats else float("nan")
+        """Mean delivered latency; ``nan`` when nothing was delivered."""
+        lats = self.latencies
+        return float(lats.mean()) if lats.size else float("nan")
+
+    @property
+    def p50_latency(self) -> float:
+        """Median delivered latency (nearest-rank); ``nan`` when empty."""
+        return nearest_rank(self.latencies, 50)
+
+    @property
+    def p95_latency(self) -> float:
+        return nearest_rank(self.latencies, 95)
+
+    @property
+    def p99_latency(self) -> float:
+        return nearest_rank(self.latencies, 99)
 
     @property
     def throughput(self) -> float:
@@ -190,7 +225,8 @@ class WormholeNetwork:
         """
         worms = [ _Worm(packet=p, flits=list(p.flits())) for p in packets ]
         pending = sorted(worms, key=lambda w: (w.packet.inject_cycle, w.packet.packet_id))
-        active: List[_Worm] = []
+        pptr = 0  # admission cursor into ``pending`` (no O(n) pop(0))
+        active: List[_Worm] = []  # kept ascending by packet_id
         delivered: List[WormPacket] = []
         dropped: List[WormPacket] = []
         cycle = 0
@@ -199,15 +235,18 @@ class WormholeNetwork:
 
         while cycle < max_cycles:
             # Admit packets whose injection time arrived.
-            while pending and pending[0].packet.inject_cycle <= cycle:
-                worm = pending.pop(0)
+            while pptr < len(pending) and pending[pptr].packet.inject_cycle <= cycle:
+                worm = pending[pptr]
+                pptr += 1
                 if worm.packet.source == worm.packet.dest:
                     # Local delivery needs no network resources.
                     worm.packet.start_cycle = cycle
                     worm.packet.finish_cycle = cycle
                     delivered.append(worm.packet)
                 else:
-                    active.append(worm)
+                    # Sorted insertion keeps the oldest-first service
+                    # order without re-sorting ``active`` every cycle.
+                    insort(active, worm, key=lambda w: w.packet.packet_id)
 
             moved = self._step(active, cycle)
 
@@ -223,7 +262,7 @@ class WormholeNetwork:
             active = still
 
             cycle += 1
-            if not active and not pending:
+            if not active and pptr >= len(pending):
                 break
             if active and not moved:
                 idle_cycles += 1
@@ -233,7 +272,9 @@ class WormholeNetwork:
             else:
                 idle_cycles = 0
 
-        stuck = tuple(w.packet for w in active) + tuple(w.packet for w in pending)
+        stuck = tuple(w.packet for w in active) + tuple(
+            w.packet for w in pending[pptr:]
+        )
         return NetworkResult(
             delivered=tuple(delivered),
             dropped=tuple(dropped),
@@ -247,8 +288,9 @@ class WormholeNetwork:
     def _step(self, active: List[_Worm], cycle: int) -> bool:
         moved = False
         # Deterministic service order: oldest packet first (age-based
-        # priority also avoids starvation).
-        for worm in sorted(active, key=lambda w: w.packet.packet_id):
+        # priority also avoids starvation).  ``active`` is maintained
+        # ascending by packet_id, so no per-cycle sort is needed.
+        for worm in active:
             if self._advance_worm(worm, cycle):
                 moved = True
         return moved
@@ -294,9 +336,11 @@ class WormholeNetwork:
                 worm.channels.append(ch)
                 worm.links_acquired += 1
 
-        # 2. Pipeline flits forward, head-most link first.
-        for i in range(len(worm.channels) - 1, 0, -1):
-            up, down = worm.channels[i - 1], worm.channels[i]
+        # 2. Pipeline flits forward, head-most link first.  Snapshot the
+        # deque: tuple indexing is O(1) where mid-deque indexing is not.
+        chans = tuple(worm.channels)
+        for i in range(len(chans) - 1, 0, -1):
+            up, down = chans[i - 1], chans[i]
             up_buf, down_buf = self._buffer(up), self._buffer(down)
             if up_buf and len(down_buf) < self._depth:
                 flit = up_buf.popleft()
@@ -320,7 +364,7 @@ class WormholeNetwork:
 
         # Channel list cleanup: drop released channels from the front.
         while worm.channels and self._owner.get(worm.channels[0]) != packet.packet_id:
-            worm.channels.pop(0)
+            worm.channels.popleft()
         return moved
 
     def _next_node(self, worm: _Worm, at: Coord) -> Optional[Coord]:

@@ -98,6 +98,27 @@ EVENT_SCHEMAS: Dict[str, FrozenSet[str]] = {
     "request_retry": frozenset({"op", "attempt", "reason"}),
     # full-state snapshots routed to RoundTrace sinks
     "snapshot": frozenset({"key"}),
+    # batched traffic engine (injection-rate sweeps)
+    "traffic_sweep": frozenset(
+        {
+            "view",
+            "kernel",
+            "pattern",
+            "rate",
+            "packets",
+            "delivered",
+            "dropped",
+            "stuck",
+            "cycles",
+            "throughput",
+            "p50",
+            "p95",
+            "p99",
+        }
+    ),
+    "saturation_point": frozenset(
+        {"view", "kernel", "pattern", "rate", "throughput"}
+    ),
 }
 
 #: Events too chatty for the default level.

@@ -120,6 +120,17 @@ class TraceSummary:
     #: tiles).  Keys are phases (``unsafe``, ``enable``); empty when
     #: the trace holds no sharding events.
     sharding: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Batched traffic-campaign accounting, rebuilt from
+    #: ``traffic_sweep`` / ``saturation_point`` events.  Keys are
+    #: ``view/kernel/pattern`` triples; each entry carries the swept
+    #: ``points``, total ``offered`` and ``delivered`` packets, the
+    #: ``peak_throughput`` over the curve (packets/cycle), the worst
+    #: ``p99`` latency seen, and — once the sweep's
+    #: ``saturation_point`` event lands — ``saturation_rate`` and
+    #: ``saturation_throughput`` (rate ``-1`` means even the lowest
+    #: swept rate saturated).  Empty when the trace holds no traffic
+    #: events.
+    routing: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready view (``repro obs summarize --json``) whose
@@ -137,6 +148,9 @@ class TraceSummary:
             },
             "sharding": {
                 phase: dict(entry) for phase, entry in self.sharding.items()
+            },
+            "routing": {
+                key: dict(entry) for key, entry in self.routing.items()
             },
             "slo": dict(self.slo) if self.slo is not None else None,
             "runs": [
@@ -191,6 +205,7 @@ def summarize_trace(
     durable_bytes: TallyCounter = TallyCounter()
     recoveries: List[Mapping[str, Any]] = []
     sharding: Dict[str, Dict[str, float]] = {}
+    routing: Dict[str, Dict[str, float]] = {}
     retries = 0
     total = 0
     for lineno, record in _iter_jsonl(path):
@@ -207,6 +222,7 @@ def summarize_trace(
                 durable_bytes=durable_bytes,
                 recoveries=recoveries,
                 sharding=sharding,
+                routing=routing,
                 reports=reports,
             )
         except ObservabilityError as exc:
@@ -261,6 +277,7 @@ def summarize_trace(
         durability=durability,
         slo=slo,
         sharding=sharding,
+        routing=routing,
     )
 
 
@@ -276,6 +293,7 @@ def _absorb_record(
     durable_bytes: TallyCounter,
     recoveries: List[Mapping[str, Any]],
     sharding: Dict[str, Dict[str, float]],
+    routing: Dict[str, Dict[str, float]],
     reports: Dict[Tuple[Tuple[str, str], ...], RunReport],
 ) -> None:
     """Fold one validated record into the accumulators.
@@ -327,6 +345,34 @@ def _absorb_record(
             entry["rounds"] += 1.0
             entry["tile_solves"] += float(int(fields["tiles"]))
             entry["halo_exchanges"] += float(int(fields["exchanges"]))
+        return
+    if name in ("traffic_sweep", "saturation_point"):
+        key = (
+            f"{fields['view']}/{fields['kernel']}/{fields['pattern']}"
+        )
+        entry = routing.setdefault(
+            key,
+            {
+                "points": 0.0,
+                "offered": 0.0,
+                "delivered": 0.0,
+                "peak_throughput": 0.0,
+                "worst_p99": 0.0,
+            },
+        )
+        if name == "traffic_sweep":
+            entry["points"] += 1.0
+            entry["offered"] += float(int(fields["packets"]))
+            entry["delivered"] += float(int(fields["delivered"]))
+            entry["peak_throughput"] = max(
+                entry["peak_throughput"], float(fields["throughput"])
+            )
+            p99 = float(fields["p99"])
+            if not math.isnan(p99):
+                entry["worst_p99"] = max(entry["worst_p99"], p99)
+        else:
+            entry["saturation_rate"] = float(fields["rate"])
+            entry["saturation_throughput"] = float(fields["throughput"])
         return
     if name not in ("epoch_end", "run_end"):
         return
@@ -457,6 +503,23 @@ def format_summary(summary: TraceSummary) -> str:
                 f"{int(entry['rounds'])} tile rounds, "
                 f"{int(entry['tile_solves'])} tile solves, "
                 f"{int(entry['halo_exchanges'])} halo exchanges"
+            )
+    if summary.routing:
+        lines.append("")
+        lines.append("routing (traffic campaigns):")
+        for key in sorted(summary.routing):
+            entry = summary.routing[key]
+            sat = entry.get("saturation_rate")
+            sat_txt = (
+                "unsaturated"
+                if sat is None
+                else ("saturated at lowest rate" if sat < 0 else f"sat@{sat:g}/cyc")
+            )
+            lines.append(
+                f"  {key}: {int(entry['points'])} points, "
+                f"{int(entry['delivered'])}/{int(entry['offered'])} delivered, "
+                f"peak {entry['peak_throughput']:.2f} pkt/cyc, "
+                f"worst p99 {entry['worst_p99']:.0f} cyc, {sat_txt}"
             )
     if summary.durability:
         lines.append("")

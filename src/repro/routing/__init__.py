@@ -25,11 +25,21 @@ from repro.routing.minimal import MinimalRouter, minimal_feasible
 from repro.routing.safety_levels import SafetyLevelRouter, safety_levels
 from repro.routing.turns import NegativeFirstRouter, WestFirstRouter
 from repro.routing.packet import DropReason, RouteResult
+from repro.routing.vectorized import (
+    DetourKernel,
+    TrafficKernel,
+    XYKernel,
+    make_kernel,
+)
 from repro.routing.wall import WallRouter
 from repro.routing.xy import XYRouter
 
 __all__ = [
     "BFSRouter",
+    "DetourKernel",
+    "TrafficKernel",
+    "XYKernel",
+    "make_kernel",
     "BroadcastResult",
     "broadcast",
     "Channel",

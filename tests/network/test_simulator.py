@@ -13,6 +13,7 @@ from repro.network import (
     block_detour_hops,
     clockwise_ring_hops,
     dateline_vc_policy,
+    nearest_rank,
     uniform_traffic,
     xy_hops,
 )
@@ -177,6 +178,13 @@ class TestNetworkResult:
         res = net.run([])
         assert res.delivery_rate == 1.0
         assert res.throughput == 0.0
+        # Latency statistics over zero deliveries are nan, same
+        # convention as BatchedResult.
+        assert np.isnan(res.mean_latency)
+        assert np.isnan(res.p50_latency)
+        assert np.isnan(res.p95_latency)
+        assert np.isnan(res.p99_latency)
+        assert res.latencies.size == 0
 
     def test_throughput_accounting(self):
         net = WormholeNetwork(Mesh2D(8, 8), xy_hops())
@@ -185,3 +193,16 @@ class TestNetworkResult:
         ]
         res = net.run(packets)
         assert res.throughput == pytest.approx(16 / res.cycles)
+
+    def test_latency_percentiles(self):
+        net = WormholeNetwork(Mesh2D(8, 8), xy_hops())
+        rng = np.random.default_rng(12)
+        packets = uniform_traffic(clean_view(), 80, rng, injection_rate=0.5)
+        res = net.run(packets)
+        lat = res.latencies
+        assert lat.size == len(res.delivered)
+        assert res.mean_latency == pytest.approx(float(lat.mean()))
+        assert res.p50_latency == nearest_rank(lat, 50)
+        assert res.p95_latency == nearest_rank(lat, 95)
+        assert res.p99_latency == nearest_rank(lat, 99)
+        assert res.p50_latency <= res.p95_latency <= res.p99_latency
